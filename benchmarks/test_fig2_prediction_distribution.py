@@ -1,0 +1,18 @@
+"""Fig. 2 bench: 4-bit prediction distributions, vanilla vs CDT."""
+
+from conftest import scale_for
+
+from repro.experiments import fig2
+
+
+def test_fig2_prediction_distribution(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig2.run(scale=scale_for("smoke")), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    rows = {r["method"]: r for r in result.rows}
+    # Shape claim: CDT's 4-bit output is at least as close to the 32-bit
+    # distribution as vanilla distillation's (paper: dramatically closer).
+    assert rows["cdt"]["kl_4bit_to_32bit"] <= \
+        rows["vanilla"]["kl_4bit_to_32bit"] * 1.5

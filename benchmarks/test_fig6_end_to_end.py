@@ -1,0 +1,21 @@
+"""Fig. 6 bench: InstantNet vs SOTA IoT systems (accuracy vs EDP)."""
+
+from conftest import scale_for
+
+from repro.experiments import fig6
+
+
+def test_fig6_end_to_end(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig6.run(scale=scale_for("smoke")), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    # Shape claim: InstantNet's EDP beats the better baseline system at
+    # the lowest bit-width (paper: -62.5%..-84.67%).
+    lowest = min(r["bits"] for r in result.rows)
+    low_rows = [r for r in result.rows if r["bits"] == lowest]
+    assert all(
+        r["edp_instantnet"] < min(r["edp_sys1"], r["edp_sys2"])
+        for r in low_rows
+    )

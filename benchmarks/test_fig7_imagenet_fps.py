@@ -1,0 +1,16 @@
+"""Fig. 7 bench: InstantNet vs SOTA FPGA IoT system (FPS on ImageNet-like)."""
+
+from conftest import scale_for
+
+from repro.experiments import fig7
+
+
+def test_fig7_imagenet_fps(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig7.run(scale=scale_for("smoke")), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    # Shape claim: InstantNet's throughput beats the baseline system
+    # (paper: 1.86x at comparable accuracy).
+    assert all(r["fps_gain"] >= 1.0 for r in result.rows)

@@ -1,0 +1,16 @@
+"""Table II bench: CDT vs independently-trained SBM on ResNet-38."""
+
+from conftest import scale_for
+
+from repro.experiments import table2
+
+
+def test_table2_cdt_resnet38(benchmark):
+    result = benchmark.pedantic(
+        lambda: table2.run(scale=scale_for("smoke")), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    assert {r["dataset"] for r in result.rows} == {"cifar10", "cifar100"}
+    # Every row reports both methods.
+    assert all("acc_cdt" in r and "acc_sbm" in r for r in result.rows)

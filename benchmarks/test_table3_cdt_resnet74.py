@@ -1,0 +1,15 @@
+"""Table III bench: CDT vs independently-trained SBM on ResNet-74."""
+
+from conftest import scale_for
+
+from repro.experiments import table3
+
+
+def test_table3_cdt_resnet74(benchmark):
+    result = benchmark.pedantic(
+        lambda: table3.run(scale=scale_for("smoke")), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    assert result.experiment == "table3"
+    assert len(result.rows) >= 8

@@ -1,0 +1,16 @@
+"""Table IV bench: CDT vs SP at extreme 2-bit on ResNet-18."""
+
+from conftest import scale_for
+
+from repro.experiments import table4
+
+
+def test_table4_cdt_2bit(benchmark):
+    result = benchmark.pedantic(
+        lambda: table4.run(scale=scale_for("smoke")), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    # Shape claim: CDT >= SP at the extreme W2A2 point (paper: +4.5%).
+    w2a2 = next(r for r in result.rows if r["bits"] == "W2A2")
+    assert w2a2["acc_cdt"] >= w2a2["acc_sp"] - 2.0  # smoke-scale noise band

@@ -1,0 +1,54 @@
+"""Deployment phase: AutoMapper — search accelerator dataflows.
+
+Maps AlexNet onto an Eyeriss-class edge ASIC with the evolutionary
+AutoMapper (Alg. 1) and compares against the expert-crafted row-stationary
+dataflow, then shows how the optimal mapping shifts with the operating
+bit-width — the reason SP-Net deployment needs per-precision dataflows.
+
+Run:
+    python examples/deploy_dataflow.py
+"""
+
+from repro import rng
+from repro.baselines.dataflows import baseline_mapper
+from repro.core.automapper import AutoMapper, AutoMapperConfig
+from repro.hardware import alexnet_workloads, design_space_size, eyeriss_like_asic
+
+
+def main():
+    rng.set_seed(0)
+    device = eyeriss_like_asic()
+    workloads = alexnet_workloads(bits=16)
+
+    space = design_space_size(workloads[1])
+    print(f"Mapping-space size for one AlexNet layer: ~{space:.1e} choices")
+    print(f"Target device: {device.name} ({device.num_pes} PEs, "
+          f"{device.hierarchy.names})\n")
+
+    mapper = AutoMapper(device, AutoMapperConfig(generations=40, metric="edp"))
+    ours = mapper.search_network(workloads, pipeline=False)
+    eyeriss = baseline_mapper("eyeriss", workloads, device)
+
+    print(f"AutoMapper : EDP {ours.edp:.3e} J*s   "
+          f"energy {ours.energy_pj / 1e6:.1f} uJ   "
+          f"latency {ours.latency_s * 1e3:.2f} ms")
+    print(f"Eyeriss RS : EDP {eyeriss.edp:.3e} J*s   "
+          f"energy {eyeriss.energy_pj / 1e6:.1f} uJ   "
+          f"latency {eyeriss.latency_s * 1e3:.2f} ms")
+    print(f"EDP reduction: {100 * (1 - ours.edp / eyeriss.edp):.1f}% "
+          "(paper Fig. 5: 65.76% on AlexNet)\n")
+
+    print("Searched dataflow for conv2 (levels DRAM -> RF):")
+    print(ours.dataflows[1].describe())
+
+    print("\nOptimal EDP shifts with precision (per-bit-width dataflows):")
+    for bits in (4, 8, 16):
+        wl_b = [w.with_bits(bits) for w in workloads]
+        mapper_b = AutoMapper(device, AutoMapperConfig(
+            generations=30, metric="edp", seed_key=f"deploy-{bits}"))
+        res = mapper_b.search_network(wl_b, pipeline=False)
+        print(f"  {bits:>2}-bit: EDP {res.edp:.3e} J*s")
+
+
+if __name__ == "__main__":
+    main()

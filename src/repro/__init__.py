@@ -1,0 +1,27 @@
+"""repro — a full reproduction of InstantNet (Fu et al., DAC 2021).
+
+InstantNet automates the *generation* of switchable-precision networks
+(SP-Nets — one set of weights accurate at every candidate bit-width) and
+their *deployment* (accelerator dataflows per bit-width).  This package
+reimplements the complete system plus every substrate it runs on:
+
+====================  ====================================================
+``repro.tensor``      NumPy reverse-mode autograd engine
+``repro.nn``          layers, blocks, model zoo (MobileNetV2, ResNets)
+``repro.quant``       DoReFa / SBM quantisers, switchable-precision layers
+``repro.data``        synthetic CIFAR/TinyImageNet/ImageNet stand-ins
+``repro.optim``       SGD / Adam, schedules, gumbel softmax
+``repro.core``        the paper's contributions: CDT, SP-NAS, AutoMapper
+``repro.hardware``    workloads, dataflow space, analytical cost model
+``repro.baselines``   SBM/SP/AdaBits training; Eyeriss/DNNBuilder/
+                      CHaiDNN/MAGNet dataflows
+``repro.experiments`` regenerates every table and figure of the paper
+====================  ====================================================
+
+Quickstart: see README.md and the runnable scripts in examples/.
+"""
+
+from . import rng
+from .version import __version__
+
+__all__ = ["rng", "__version__"]

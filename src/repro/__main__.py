@@ -1,0 +1,59 @@
+"""Command-line entry point: regenerate paper tables/figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table1 --scale smoke --seed 0
+    python -m repro run all --scale default
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="InstantNet reproduction — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="table1..table4, fig2..fig7, or all")
+    run.add_argument("--scale", default="smoke",
+                     choices=("smoke", "default", "full"))
+    run.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    from .experiments import ALL_EXPERIMENTS
+    from . import rng
+
+    if args.command == "list":
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = (
+        list(ALL_EXPERIMENTS) if args.experiment == "all"
+        else [args.experiment]
+    )
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    for name in names:
+        rng.set_seed(args.seed)
+        result = ALL_EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        print(result.to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

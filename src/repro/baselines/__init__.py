@@ -1,0 +1,19 @@
+"""Baselines the paper compares against (systems S8 + S13 in DESIGN.md)."""
+
+from .spnets import (
+    ModelBuilder,
+    TrainedSPNet,
+    train_adabits,
+    train_cdt,
+    train_sbm_independent,
+    train_sp,
+)
+
+__all__ = [
+    "ModelBuilder",
+    "TrainedSPNet",
+    "train_adabits",
+    "train_cdt",
+    "train_sbm_independent",
+    "train_sp",
+]

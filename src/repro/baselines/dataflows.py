@@ -1,0 +1,305 @@
+"""Expert / tool-generated dataflow baselines (system S13 in DESIGN.md).
+
+Fig. 5 compares AutoMapper against four published mappers.  Each is
+reproduced as a *mapper* — a function from (workloads, device) to
+dataflows — implementing that tool's documented scheduling style, then
+priced on the same cost model AutoMapper uses (the paper does the same:
+its Eyeriss baseline numbers come from the authors' published simulator,
+not silicon):
+
+* **Eyeriss row-stationary** [Chen et al. 2016] — fixed RS schedule:
+  filter rows pinned in register files, spatial unrolling over
+  (filter-row, output-row) pairs; no per-layer tiling search.
+* **DNNBuilder** [Zhang et al. 2018] — FPGA layer-pipelined execution,
+  one stage per layer, resources split by compute share, canonical HLS
+  loop orders, output-channel spatial unrolling.
+* **CHaiDNN** [Xilinx] — generic GEMM-style FPGA library: fixed
+  loop order, one-size-fits-all tile configuration, multi-cycle.
+* **MAGNet** [Venkatesan et al. 2019] — tiled architecture generator
+  that tunes tiling *sizes* but only over a small pre-defined set of
+  loop-order templates, selected per network; the restriction the paper
+  blames for its ~9% gap to AutoMapper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import rng as rng_mod
+from ..hardware.costmodel import (
+    NetworkCost,
+    evaluate_layer,
+    evaluate_network,
+    make_valid,
+)
+from ..hardware.dataflow import CANONICAL_ORDER, Dataflow, LevelTiling
+from ..hardware.hierarchy import Device
+from ..hardware.workload import DIMS, ConvWorkload
+
+__all__ = [
+    "eyeriss_row_stationary",
+    "dnnbuilder_mapper",
+    "chaidnn_mapper",
+    "magnet_mapper",
+    "baseline_mapper",
+    "MAGNET_TEMPLATES",
+]
+
+
+def _build(
+    workload: ConvWorkload,
+    device: Device,
+    orders: Sequence[Tuple[str, ...]],
+    level_tiles: Sequence[Dict[str, int]],
+    spatial: Dict[str, int],
+    buffer_fraction: float = 1.0,
+    pe_fraction: float = 1.0,
+) -> Dataflow:
+    """Assemble a dataflow from per-level specs and repair it to validity."""
+    levels = tuple(
+        LevelTiling(order=tuple(order), tiles=dict(tiles))
+        for order, tiles in zip(orders, level_tiles)
+    )
+    flow = Dataflow(levels=levels, spatial=dict(spatial))
+    return make_valid(workload, flow, device, buffer_fraction, pe_fraction)
+
+
+def _cap(value: int, bound: int) -> int:
+    return max(1, min(value, bound))
+
+
+# Row-stationary loop orders: reduction dims innermost at the register
+# file (a PE convolves one filter row over one input row), channel loops
+# at NoC/GB, batch/channel outermost at DRAM.
+EYERISS_ORDERS = (
+    ("N", "K", "C", "Y", "X", "R", "S"),  # DRAM
+    ("N", "Y", "X", "K", "C", "R", "S"),  # GlobalBuffer
+    ("N", "Y", "X", "C", "K", "R", "S"),  # NoC
+    ("N", "K", "C", "Y", "R", "X", "S"),  # RF: S innermost (row reuse)
+)
+
+
+def _eyeriss_spatial(workload: ConvWorkload, device: Device):
+    """RS spatial mapping: filter rows x output rows across the array,
+    folding output channels onto leftover PEs for short filters (the
+    ISCA'16 treatment of 1x1 layers)."""
+    dims = workload.dims
+    side = max(1, int(np.sqrt(device.num_pes)))
+    r_sp = _cap(dims["R"], side)
+    y_sp = _cap(dims["Y"], max(1, device.num_pes // r_sp))
+    spatial = {"R": r_sp, "Y": y_sp}
+    leftover = device.num_pes // (r_sp * y_sp)
+    if leftover > 1:
+        spatial["K"] = _cap(dims["K"], leftover)
+    return spatial
+
+
+def eyeriss_row_stationary(
+    workload: ConvWorkload, device: Device, buffer_fraction: float = 1.0,
+    tuning_budget: int = 30,
+) -> Dataflow:
+    """The Eyeriss row-stationary schedule for one layer.
+
+    The RS *dataflow* — loop orders and the (R, Y[, K]) spatial mapping —
+    is fixed by the architecture, but Eyeriss ships a per-layer mapping
+    optimiser that sizes its tiling parameters, so tile sizes are tuned
+    here under the frozen orders/spatial (like the published simulator
+    the paper uses for its Eyeriss numbers).  The remaining gap to
+    AutoMapper comes from the parts RS cannot change — largest on layer
+    shapes RS fits poorly (AlexNet's 11x11 stem, VGG's deep 3x3 stacks),
+    small on 1x1-dominated networks (ResNet50, MobileNetV2), matching the
+    per-network ordering of Fig. 5.
+    """
+    rng = rng_mod.spawn_rng(f"eyeriss-{workload.name}")
+    spatial = _eyeriss_spatial(workload, device)
+    flow, _ = _tune_tiles_under_orders(
+        workload, device, list(EYERISS_ORDERS), tuning_budget, "edp", rng,
+        buffer_fraction, fixed_spatial=spatial,
+    )
+    return flow
+
+
+# DNNBuilder's HLS pipeline streams output rows/columns and keeps weight
+# loops innermost; the *order* is frozen into the bitstream, but the tool
+# itself auto-tunes tile sizes and per-stage resource allocation.
+DNNBUILDER_ORDER = ("N", "Y", "X", "K", "C", "R", "S")
+
+
+def dnnbuilder_mapper(
+    workload: ConvWorkload, device: Device, buffer_fraction: float = 1.0,
+    pe_fraction: float = 1.0, tuning_budget: int = 30,
+) -> Dataflow:
+    """DNNBuilder's per-stage schedule.
+
+    DNNBuilder is an automated generator: it tunes tiling and resource
+    allocation per layer, so we model it as a tiling search with the loop
+    order frozen to its row-streaming pipeline structure — flexible where
+    the tool is flexible, rigid where the architecture is rigid.  The
+    remaining gap to AutoMapper (paper: ~9-10%) then comes from the fixed
+    order and the forced layer-pipelined execution.
+    """
+    rng = rng_mod.spawn_rng(f"dnnbuilder-{workload.name}")
+    flow, _ = _tune_tiles_under_orders(
+        workload, device, [DNNBUILDER_ORDER] * len(device.hierarchy),
+        tuning_budget, "edp", rng, buffer_fraction, pe_fraction,
+    )
+    return flow
+
+
+def chaidnn_mapper(
+    workload: ConvWorkload, device: Device, buffer_fraction: float = 1.0
+) -> Dataflow:
+    """CHaiDNN's one-size-fits-all GEMM tiling (library defaults, not
+    tuned per layer): fixed 32-wide output-channel unroll, fixed 8x8
+    pixel tiles, canonical orders."""
+    dims = workload.dims
+    spatial = {"K": _cap(32, min(dims["K"], device.num_pes))}
+    rf_tiles = {"S": dims["S"]}
+    noc_tiles = {"C": _cap(dims["C"], 4)}
+    gb_tiles = {"Y": _cap(dims["Y"], 8), "X": _cap(dims["X"], 8),
+                "C": _cap(dims["C"] // 4, 8), "K": _cap(dims["K"] // 32, 2)}
+    orders = [CANONICAL_ORDER] * 4
+    dram = {d: 1 for d in DIMS}
+    return _build(workload, device, orders,
+                  [dram, gb_tiles, noc_tiles, rf_tiles], spatial,
+                  buffer_fraction)
+
+
+# MAGNet's pre-defined loop-order templates (weight-stationary,
+# output-stationary, input-stationary, and a row-stationary-like nest).
+MAGNET_TEMPLATES: Dict[str, Tuple[Tuple[str, ...], ...]] = {
+    "weight-stationary": (
+        ("N", "Y", "X", "K", "C", "R", "S"),
+        ("N", "Y", "X", "K", "C", "R", "S"),
+        ("K", "C", "N", "Y", "X", "R", "S"),
+        ("K", "C", "R", "S", "N", "Y", "X"),
+    ),
+    "output-stationary": (
+        ("N", "K", "Y", "X", "C", "R", "S"),
+        ("N", "K", "Y", "X", "C", "R", "S"),
+        ("C", "R", "S", "N", "K", "Y", "X"),
+        ("C", "R", "S", "N", "K", "Y", "X"),
+    ),
+    "input-stationary": (
+        ("K", "R", "S", "N", "C", "Y", "X"),
+        ("K", "R", "S", "N", "C", "Y", "X"),
+        ("N", "C", "Y", "X", "K", "R", "S"),
+        ("N", "C", "Y", "X", "K", "R", "S"),
+    ),
+    "row-stationary": (
+        ("N", "K", "C", "Y", "X", "R", "S"),
+        ("N", "Y", "X", "K", "C", "R", "S"),
+        ("N", "Y", "X", "C", "K", "R", "S"),
+        ("N", "K", "C", "Y", "R", "X", "S"),
+    ),
+}
+
+
+def magnet_mapper(
+    workloads: Sequence[ConvWorkload],
+    device: Device,
+    tuning_budget: int = 40,
+    metric: str = "energy",
+    buffer_fraction: float = 1.0,
+) -> Tuple[List[Dataflow], str]:
+    """MAGNet-style mapping: tune tiling sizes under each loop-order
+    template, then pick the single best template *for the whole network*.
+
+    Returns the per-layer dataflows and the chosen template name.  The
+    loop orders never leave the template set — the paper's explanation
+    for MAGNet's gap to AutoMapper ("a pre-defined set of loop-orders ...
+    may not generically fit network's diverse layer structures").
+    """
+    rng = rng_mod.spawn_rng("magnet")
+    best_total, best_flows, best_name = float("inf"), None, ""
+    for name, orders in MAGNET_TEMPLATES.items():
+        flows: List[Dataflow] = []
+        total = 0.0
+        for w in workloads:
+            flow, value = _tune_tiles_under_orders(
+                w, device, orders, tuning_budget, metric, rng, buffer_fraction
+            )
+            flows.append(flow)
+            total += value
+        if total < best_total:
+            best_total, best_flows, best_name = total, flows, name
+    return best_flows, best_name
+
+
+def _tune_tiles_under_orders(
+    workload, device, orders, budget, metric, rng, buffer_fraction,
+    pe_fraction: float = 1.0, fixed_spatial: Optional[Dict[str, int]] = None,
+) -> Tuple[Dataflow, float]:
+    """Random-restart tiling search with loop orders (and optionally the
+    spatial mapping) frozen."""
+    from ..hardware.dataflow import random_dataflow
+
+    best_flow, best_val = None, float("inf")
+    for _ in range(budget):
+        seed = random_dataflow(workload, device, rng)
+        # Freeze the template's orders; keep the sampled tile sizes.
+        frozen = Dataflow(
+            levels=tuple(
+                LevelTiling(order=tuple(o), tiles=dict(l.tiles))
+                for o, l in zip(orders, seed.levels)
+            ),
+            spatial=dict(fixed_spatial) if fixed_spatial is not None
+            else seed.spatial,
+        )
+        frozen = make_valid(workload, frozen, device, buffer_fraction,
+                            pe_fraction)
+        cost = evaluate_layer(workload, frozen, device,
+                              pe_fraction=pe_fraction,
+                              buffer_fraction=buffer_fraction)
+        if not cost.valid:
+            continue
+        value = cost.energy_pj if metric == "energy" else cost.edp
+        if value < best_val:
+            best_flow, best_val = frozen, value
+    if best_flow is None:  # extremely unlikely after make_valid
+        best_flow = make_valid(
+            workload, random_dataflow(workload, device, rng), device,
+            buffer_fraction, pe_fraction,
+        )
+        best_val = evaluate_layer(
+            workload, best_flow, device, pe_fraction=pe_fraction,
+            buffer_fraction=buffer_fraction,
+        ).energy_pj
+    return best_flow, best_val
+
+
+def baseline_mapper(
+    name: str,
+    workloads: Sequence[ConvWorkload],
+    device: Device,
+) -> NetworkCost:
+    """Map a network with a named baseline and return its network cost.
+
+    ``dnnbuilder`` runs pipelined (its defining feature); the others run
+    multi-cycle.
+    """
+    name = name.lower()
+    if name == "eyeriss":
+        flows = [eyeriss_row_stationary(w, device) for w in workloads]
+        return evaluate_network(workloads, flows, device, pipeline=False)
+    if name == "dnnbuilder":
+        total_macs = float(sum(w.macs for w in workloads)) or 1.0
+        flows = []
+        for w in workloads:
+            share = max(w.macs / total_macs, 1.0 / (4 * len(workloads)))
+            flows.append(
+                dnnbuilder_mapper(w, device, buffer_fraction=share,
+                                  pe_fraction=share)
+            )
+        return evaluate_network(workloads, flows, device, pipeline=True)
+    if name == "chaidnn":
+        flows = [chaidnn_mapper(w, device) for w in workloads]
+        return evaluate_network(workloads, flows, device, pipeline=False)
+    if name == "magnet":
+        flows, _ = magnet_mapper(workloads, device)
+        return evaluate_network(workloads, flows, device, pipeline=False)
+    raise ValueError(
+        f"unknown baseline {name!r}; use eyeriss|dnnbuilder|chaidnn|magnet"
+    )

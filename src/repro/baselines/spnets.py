@@ -1,0 +1,160 @@
+"""SP-Net training baselines (system S8 in DESIGN.md).
+
+Convenience recipes packaging model construction + strategy + training
+for each method compared in Tables I-IV:
+
+==============  ============================================  ==========
+Paper column    What it is                                    Entry
+==============  ============================================  ==========
+SBM [18]        independent QAT per bit-width                 :func:`train_sbm_independent`
+SP [5]          switchable net, distil from highest bit       :func:`train_sp`
+AdaBits [4]     switchable net, joint CE, no distillation     :func:`train_adabits`
+CDT (proposed)  switchable net, cascade distillation          :func:`train_cdt`
+==============  ============================================  ==========
+
+Every recipe accepts a ``model_builder(factory) -> Module`` so the same
+topology (MobileNetV2, ResNet-38/74/18, or a NAS-derived network) runs
+under every method — exactly how the paper's ablations are set up.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from ..core.cdt import CascadeDistillation, JointCrossEntropy, VanillaDistillation
+from ..core.trainer import (
+    SwitchableTrainer,
+    TrainConfig,
+    evaluate_all_bits,
+    train_fixed_precision,
+)
+from ..data.dataset import Dataset
+from ..nn.module import Module
+from ..quant.factory import SwitchableFactory
+from ..quant.layers import BitSpec
+from ..quant.network import SwitchablePrecisionNetwork
+
+__all__ = [
+    "ModelBuilder",
+    "train_cdt",
+    "train_sp",
+    "train_adabits",
+    "train_sbm_independent",
+    "TrainedSPNet",
+]
+
+ModelBuilder = Callable[[SwitchableFactory], Module]
+
+
+class TrainedSPNet:
+    """Result bundle: the trained network and its test accuracies."""
+
+    def __init__(self, sp_net: SwitchablePrecisionNetwork,
+                 accuracies: Dict[BitSpec, float], method: str):
+        self.sp_net = sp_net
+        self.accuracies = accuracies
+        self.method = method
+
+    def accuracy_at(self, bits: BitSpec) -> float:
+        return self.accuracies[bits]
+
+    def __repr__(self) -> str:
+        accs = ", ".join(f"{b}: {a:.3f}" for b, a in self.accuracies.items())
+        return f"TrainedSPNet({self.method}; {accs})"
+
+
+def _train_switchable(
+    model_builder: ModelBuilder,
+    bit_widths: Sequence[BitSpec],
+    strategy,
+    train_set: Dataset,
+    test_set: Dataset,
+    config: Optional[TrainConfig],
+    quantizer: str,
+    method: str,
+) -> TrainedSPNet:
+    factory = SwitchableFactory(bit_widths, quantizer=quantizer)
+    model = model_builder(factory)
+    sp_net = SwitchablePrecisionNetwork(model, bit_widths)
+    SwitchableTrainer(sp_net, strategy, config).fit(train_set)
+    return TrainedSPNet(sp_net, evaluate_all_bits(sp_net, test_set), method)
+
+
+def train_cdt(
+    model_builder: ModelBuilder,
+    bit_widths: Sequence[BitSpec],
+    train_set: Dataset,
+    test_set: Dataset,
+    config: Optional[TrainConfig] = None,
+    quantizer: str = "sbm",
+    beta: float = 1.0,
+) -> TrainedSPNet:
+    """Train with the paper's cascade distillation (the proposed method)."""
+    return _train_switchable(
+        model_builder, bit_widths, CascadeDistillation(beta=beta),
+        train_set, test_set, config, quantizer, "cdt",
+    )
+
+
+def train_sp(
+    model_builder: ModelBuilder,
+    bit_widths: Sequence[BitSpec],
+    train_set: Dataset,
+    test_set: Dataset,
+    config: Optional[TrainConfig] = None,
+    quantizer: str = "dorefa",
+    beta: float = 1.0,
+    ce_on_students: bool = True,
+) -> TrainedSPNet:
+    """SP baseline [Guerra et al. 2020]: distil only from the highest bit.
+
+    The paper pairs published SP-Nets with the DoReFa quantiser, hence the
+    default.  ``ce_on_students=False`` gives the pure distillation-only
+    variant of Fig. 2's "vanilla distillation".
+    """
+    return _train_switchable(
+        model_builder, bit_widths,
+        VanillaDistillation(beta=beta, ce_on_students=ce_on_students),
+        train_set, test_set, config, quantizer, "sp",
+    )
+
+
+def train_adabits(
+    model_builder: ModelBuilder,
+    bit_widths: Sequence[BitSpec],
+    train_set: Dataset,
+    test_set: Dataset,
+    config: Optional[TrainConfig] = None,
+    quantizer: str = "dorefa",
+) -> TrainedSPNet:
+    """AdaBits baseline [Jin et al. 2019]: joint CE, no distillation."""
+    return _train_switchable(
+        model_builder, bit_widths, JointCrossEntropy(),
+        train_set, test_set, config, quantizer, "adabits",
+    )
+
+
+def train_sbm_independent(
+    model_builder: ModelBuilder,
+    bit_widths: Sequence[BitSpec],
+    train_set: Dataset,
+    test_set: Dataset,
+    config: Optional[TrainConfig] = None,
+    quantizer: str = "sbm",
+) -> TrainedSPNet:
+    """SBM baseline [Banner et al. 2018]: one network trained per bit-width.
+
+    N separate trainings (no weight sharing), each evaluated at its own
+    precision — the strongest per-bit reference the proposed CDT is asked
+    to match (Tables I-III report CDT >= SBM at low bits).
+    """
+    accuracies: Dict[BitSpec, float] = {}
+    last_net = None
+    for bits in bit_widths:
+        factory = SwitchableFactory([bits], quantizer=quantizer)
+        model = model_builder(factory)
+        sp_net = SwitchablePrecisionNetwork(model, [bits])
+        train_fixed_precision(sp_net, train_set, config)
+        accuracies[bits] = evaluate_all_bits(sp_net, test_set)[bits]
+        last_net = sp_net
+    return TrainedSPNet(last_net, accuracies, "sbm")

@@ -1,0 +1,5 @@
+"""Evolutionary dataflow search (system S12 in DESIGN.md)."""
+
+from .engine import AutoMapper, AutoMapperConfig, MappingResult, random_search_layer
+
+__all__ = ["AutoMapper", "AutoMapperConfig", "MappingResult", "random_search_layer"]

@@ -1,0 +1,76 @@
+"""Dataset abstractions: fixed-array datasets, splits and subsets.
+
+The NAS bi-level optimisation (Eq. 2) trains supernet weights on one half
+of the training set and architecture parameters on the other half —
+:func:`split_dataset` provides exactly that deterministic partition.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .. import rng as rng_mod
+
+__all__ = ["Dataset", "ArrayDataset", "Subset", "split_dataset"]
+
+
+class Dataset:
+    """Minimal dataset protocol: length + indexed access to (image, label)."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Dataset backed by in-memory arrays (images NCHW float32, labels int64)."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray):
+        if len(images) != len(labels):
+            raise ValueError(
+                f"images ({len(images)}) and labels ({len(labels)}) disagree"
+            )
+        self.images = np.ascontiguousarray(images, dtype=np.float32)
+        self.labels = np.ascontiguousarray(labels, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1
+
+
+class Subset(Dataset):
+    """View of a dataset through a fixed index list."""
+
+    def __init__(self, base: Dataset, indices: Sequence[int]):
+        self.base = base
+        self.indices = np.asarray(indices, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int):
+        return self.base[int(self.indices[index])]
+
+
+def split_dataset(dataset: Dataset, fraction: float = 0.5, key: str = "nas-split"):
+    """Deterministically split a dataset into two disjoint subsets.
+
+    Used to realise the paper's weight-half / architecture-half protocol;
+    the split depends only on the global seed and ``key``.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    n = len(dataset)
+    order = rng_mod.spawn_rng(key).permutation(n)
+    cut = int(round(n * fraction))
+    return Subset(dataset, order[:cut]), Subset(dataset, order[cut:])

@@ -1,0 +1,41 @@
+"""Experiment harness: one module per paper table/figure (system S14).
+
+Each module exposes ``run(scale="smoke"|"default"|"full", seed=0)`` and
+prints a paper-style table when executed as a script::
+
+    python -m repro.experiments.table1
+    python -m repro.experiments.fig5
+"""
+
+from .common import SCALES, ExperimentResult, Scale, format_table, get_scale
+from . import fig2, fig4, fig5, fig6, fig7, table1, table2, table3, table4
+
+ALL_EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "fig2": fig2.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+}
+
+__all__ = [
+    "SCALES",
+    "ExperimentResult",
+    "Scale",
+    "format_table",
+    "get_scale",
+    "ALL_EXPERIMENTS",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+]

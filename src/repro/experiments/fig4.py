@@ -1,0 +1,134 @@
+"""Fig. 4 — SP-NAS vs FP-NAS / LP-NAS under FLOPs constraints.
+
+For each FLOPs budget (large / middle / small) and each candidate bit
+set, three searches run — SP-NAS (CDT weights + lowest-bit architecture
+updates), FP-NAS (search blind to quantisation) and LP-NAS (search locked
+to the lowest width) — and every derived architecture is retrained from
+scratch with CDT, the paper's protocol.  The claims to reproduce:
+
+* SP-NAS wins at the lowest bit-width under every budget
+  (+0.71%..+1.16% over the strongest baseline in the paper);
+* the advantage is largest on the wide-dynamic-range bit set, where
+  SP-NAS simultaneously cuts FLOPs (paper: -24.9% at iso-accuracy).
+
+Bit sets shrink with scale (DESIGN.md): the full scale uses the paper's
+[4, 8, 12, 16, 32] / [4, 5, 6, 8]; default uses [4, 8, 32] to keep CPU
+supernet training tractable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence
+
+from .. import rng as rng_mod
+from ..baselines.spnets import train_cdt
+from ..core.spnas import (
+    SPNASConfig,
+    build_derived,
+    search_fp_nas,
+    search_lp_nas,
+    search_spnas,
+    tiny_search_space,
+)
+from ..core.trainer import TrainConfig
+from ..data.synthetic import cifar100_like
+from .common import ExperimentResult, get_scale
+
+__all__ = ["run", "PAPER_FIG4"]
+
+PAPER_FIG4 = {
+    "lowest_bit_gain_pct": (0.71, 1.16),
+    "flops_reduction_large_set_pct": 24.9,
+    "claim": "SP-NAS beats FP/LP-NAS at the lowest bit-width under "
+             "large/middle/small FLOPs budgets on both bit sets",
+}
+
+_SEARCHERS = {
+    "spnas": search_spnas,
+    "fpnas": search_fp_nas,
+    "lpnas": search_lp_nas,
+}
+
+
+def _bit_sets_for(scale) -> List[list]:
+    if scale.name == "smoke":
+        return [[4, 32]]
+    if scale.name == "default":
+        return [[4, 8, 32]]
+    return [[4, 8, 12, 16, 32], [4, 5, 6, 8]]
+
+
+def _budgets_for(scale, space) -> Dict[str, float]:
+    """Large / middle / small expected-FLOPs budgets for the space."""
+    from ..core.spnas.space import candidate_flops
+
+    # The space's maximum: the most expensive candidate everywhere.
+    maximum = sum(
+        max(candidate_flops(c, *cfg[:4]) for c in space.candidates)
+        for cfg in space.layer_configs()
+    )
+    if scale.name == "smoke":
+        return {"middle": 0.45 * maximum}
+    return {"large": 0.7 * maximum, "middle": 0.45 * maximum,
+            "small": 0.25 * maximum}
+
+
+def run(scale="default", seed: int = 0) -> ExperimentResult:
+    """Regenerate Fig. 4 at the requested scale."""
+    scale = get_scale(scale)
+    start = time.time()
+    result = ExperimentResult(
+        experiment="fig4",
+        title="SP-NAS vs FP-NAS / LP-NAS under FLOPs constraints",
+        paper_reference=PAPER_FIG4,
+        scale=scale.name,
+    )
+    space = tiny_search_space(scale.image_size)
+    train_set, test_set = cifar100_like(
+        num_train=scale.train_samples, num_test=scale.test_samples,
+        image_size=scale.image_size, num_classes=scale.num_classes,
+        difficulty=scale.difficulty,
+    )
+    retrain_config = TrainConfig(
+        epochs=scale.epochs, batch_size=scale.batch_size
+    )
+    budgets = _budgets_for(scale, space)
+    for bit_set in _bit_sets_for(scale):
+        for budget_name, budget in budgets.items():
+            for method, searcher in _SEARCHERS.items():
+                rng_mod.set_seed(seed)
+                nas_config = SPNASConfig(
+                    epochs=scale.nas_epochs,
+                    batch_size=min(32, scale.batch_size),
+                    flops_target=budget,
+                    lambda_eff=1.0,
+                )
+                search = searcher(
+                    space, bit_set, scale.num_classes, train_set, nas_config
+                )
+                builder = build_derived(search, scale.num_classes)
+                rng_mod.set_seed(seed)
+                trained = train_cdt(
+                    builder, bit_set, train_set, test_set, retrain_config
+                )
+                row = {
+                    "bit_set": str(bit_set),
+                    "budget": budget_name,
+                    "method": method,
+                    "flops": search.flops,
+                    "architecture": "-".join(search.labels),
+                }
+                for bits, acc in trained.accuracies.items():
+                    row[f"acc@{bits}"] = round(100 * acc, 2)
+                result.add_row(**row)
+    result.notes = (
+        "all derived architectures retrained with CDT (paper protocol); "
+        "budgets are fractions of the space's maximum expected FLOPs"
+    )
+    result.seconds = time.time() - start
+    return result
+
+
+if __name__ == "__main__":
+    print(run().to_text())

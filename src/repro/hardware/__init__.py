@@ -1,0 +1,62 @@
+"""Accelerator substrate: workloads, dataflows, cost model, devices (S11)."""
+
+from .workload import DIMS, TENSOR_DIMS, ConvWorkload
+from .hierarchy import (
+    BASE_WORD_BITS,
+    Device,
+    MemoryHierarchy,
+    MemoryLevel,
+    edge_asic,
+    eyeriss_like_asic,
+    zc706_like_fpga,
+)
+from .dataflow import (
+    CANONICAL_ORDER,
+    Dataflow,
+    LevelTiling,
+    design_space_size,
+    factorizations,
+    perturb_dataflow,
+    random_dataflow,
+    repair_dataflow,
+)
+from .costmodel import LayerCost, NetworkCost, evaluate_layer, evaluate_network
+from .networks import (
+    alexnet_workloads,
+    extract_workloads,
+    mobilenetv2_workloads,
+    network_by_name,
+    resnet50_workloads,
+    vgg16_workloads,
+)
+
+__all__ = [
+    "DIMS",
+    "TENSOR_DIMS",
+    "ConvWorkload",
+    "BASE_WORD_BITS",
+    "Device",
+    "MemoryHierarchy",
+    "MemoryLevel",
+    "edge_asic",
+    "eyeriss_like_asic",
+    "zc706_like_fpga",
+    "CANONICAL_ORDER",
+    "Dataflow",
+    "LevelTiling",
+    "design_space_size",
+    "factorizations",
+    "perturb_dataflow",
+    "random_dataflow",
+    "repair_dataflow",
+    "LayerCost",
+    "NetworkCost",
+    "evaluate_layer",
+    "evaluate_network",
+    "alexnet_workloads",
+    "extract_workloads",
+    "mobilenetv2_workloads",
+    "network_by_name",
+    "resnet50_workloads",
+    "vgg16_workloads",
+]

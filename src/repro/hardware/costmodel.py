@@ -1,0 +1,417 @@
+"""Analytical energy / latency / EDP model for dataflows.
+
+This stands in for the paper's HLS + on-board measurements and Synopsys
+flows (see DESIGN.md): the same class of loop-nest analytical model that
+the Eyeriss/TETRIS simulator (the paper's own ASIC baseline evaluator)
+and DNN-Chip Predictor implement.
+
+For each memory-level boundary the model computes, per operand tensor,
+how many words cross it.  The count is **loop-order sensitive**: an
+"irrelevant" loop (one that does not index the tensor) placed *outside*
+a relevant loop forces the tensor's tiles to be refetched every
+iteration, while the same loop placed innermost allows full reuse.  This
+is exactly the mechanism that gives different dataflows
+orders-of-magnitude energy differences [Chen et al. 2016], and the signal
+AutoMapper's evolution climbs.
+
+Cost accounting:
+
+* ``energy = sum_t sum_levels traffic_t(level) * e_level * bits/16
+  + MACs * e_mac(bits) + MACs * 3 * e_rf`` (the final term is the
+  per-MAC operand movement inside a PE),
+* partial sums: output traffic counts read+write for every crossing
+  beyond the first (``2B - A`` rule, see ``_tensor_traffic``),
+* ``latency = max(compute_cycles, per-boundary DMA cycles)`` under
+  perfect double buffering,
+* capacity: a tiling whose working set exceeds a level's capacity
+  (double-buffered) is *invalid* and priced at infinity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .dataflow import Dataflow
+from .hierarchy import BASE_WORD_BITS, Device
+from .workload import DIMS, TENSOR_DIMS, ConvWorkload
+
+__all__ = [
+    "LayerCost",
+    "NetworkCost",
+    "evaluate_layer",
+    "evaluate_network",
+    "capacity_violation",
+    "make_valid",
+]
+
+_REDUCTION_DIMS = ("C", "R", "S")  # dims that accumulate into outputs
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Cost of executing one layer under one dataflow."""
+
+    valid: bool
+    energy_pj: float
+    cycles: float
+    latency_s: float
+    traffic_words: Dict[str, Dict[str, float]]  # level name -> tensor -> words
+    utilization: float
+    macs: int
+    reason: str = ""
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J * s)."""
+        return (self.energy_pj * 1e-12) * self.latency_s
+
+    @classmethod
+    def invalid(cls, reason: str) -> "LayerCost":
+        return cls(
+            valid=False, energy_pj=float("inf"), cycles=float("inf"),
+            latency_s=float("inf"), traffic_words={}, utilization=0.0,
+            macs=0, reason=reason,
+        )
+
+
+@dataclass(frozen=True)
+class NetworkCost:
+    """Aggregate cost of a whole network mapping."""
+
+    valid: bool
+    energy_pj: float
+    latency_s: float
+    pipeline: bool
+    layer_costs: Tuple[LayerCost, ...] = ()
+
+    @property
+    def edp(self) -> float:
+        return (self.energy_pj * 1e-12) * self.latency_s
+
+    @property
+    def fps(self) -> float:
+        """Throughput in frames per second (1 / per-frame latency)."""
+        if not self.valid or self.latency_s <= 0:
+            return 0.0
+        return 1.0 / self.latency_s
+
+
+def _resident_words(
+    workload: ConvWorkload,
+    dataflow: Dataflow,
+    level_index: int,
+) -> Dict[str, float]:
+    """Words of each tensor resident at ``level_index`` (per group).
+
+    A level's resident tile is swept by that level's own loops over
+    next-inner tiles, so it covers the product of the loop factors at
+    this level and every inner one, plus the spatial unrolling (whose
+    union lives at every level above the per-PE register files).
+    """
+    num_levels = len(dataflow.levels)
+    cum: Dict[str, int] = {}
+    for d in DIMS:
+        total = 1
+        for li in range(level_index, num_levels):
+            total *= dataflow.levels[li].factor(d)
+        if level_index < num_levels - 1:
+            total *= dataflow.spatial_factor(d)
+        cum[d] = min(total, workload.dims[d])
+    return _tile_words(workload, cum)
+
+
+def _tile_words(workload: ConvWorkload, cum: Dict[str, int]) -> Dict[str, float]:
+    # Input halo: the union of taps touched by the tile's own loop
+    # coverage — (Y_cov - 1) * stride + R_cov — NOT the layer's full
+    # kernel extent; a tile iterating one tap at a time only needs that
+    # tap resident.
+    ih = (cum["Y"] - 1) * workload.stride + cum["R"]
+    iw = (cum["X"] - 1) * workload.stride + cum["S"]
+    real_ih, real_iw = workload.input_tile_hw(workload.y, workload.x)
+    ih, iw = min(ih, real_ih), min(iw, real_iw)
+    return {
+        "I": float(cum["N"] * cum["C"] * ih * iw),
+        "W": float(cum["K"] * cum["C"] * cum["R"] * cum["S"]),
+        "O": float(cum["N"] * cum["K"] * cum["Y"] * cum["X"]),
+    }
+
+
+def _level_iterations(
+    level, tensor_dims: Sequence[str]
+) -> Tuple[float, float]:
+    """(relevant_product, refetch_product) of one level for one tensor.
+
+    ``relevant_product`` multiplies factors of loops that index the
+    tensor.  ``refetch_product`` additionally multiplies irrelevant loops
+    placed *outside* the innermost relevant loop — those force the same
+    tiles to be streamed again each iteration.  A level with no relevant
+    loops reuses the tile completely (both products 1).
+    """
+    relevant = 1.0
+    for d in tensor_dims:
+        relevant *= level.factor(d)
+    if relevant == 1.0:
+        return 1.0, 1.0
+    # Find the innermost relevant loop with an actual factor.
+    innermost_relevant = None
+    for pos, d in enumerate(level.order):
+        if d in tensor_dims and level.factor(d) > 1:
+            innermost_relevant = pos
+    refetch = relevant
+    if innermost_relevant is not None:
+        for pos, d in enumerate(level.order):
+            if pos < innermost_relevant and d not in tensor_dims:
+                refetch *= level.factor(d)
+    return relevant, refetch
+
+
+def _tensor_traffic(
+    workload: ConvWorkload,
+    dataflow: Dataflow,
+    boundary: int,
+) -> Dict[str, float]:
+    """Words crossing from level ``boundary`` into ``boundary + 1``.
+
+    Read-only tensors (I, W) cross ``tile * B`` words, where ``B``
+    multiplies each outer level's refetch iterations.  The accumulating
+    output crosses ``tile * (2B - A)``: each distinct tile is written
+    once (``A`` = relevant-only product) and every additional crossing is
+    a read-modify-write pair.
+    """
+    tiles = _resident_words(workload, dataflow, boundary + 1)
+    traffic: Dict[str, float] = {}
+    for tensor, tensor_dims in TENSOR_DIMS.items():
+        relevant_total = 1.0
+        refetch_total = 1.0
+        for li in range(boundary + 1):
+            rel, ref = _level_iterations(dataflow.levels[li], tensor_dims)
+            relevant_total *= rel
+            refetch_total *= ref
+        if tensor == "O":
+            crossings = 2.0 * refetch_total - relevant_total
+        else:
+            crossings = refetch_total
+        # Spatial distribution needs no extra term: per-PE-distinct data
+        # is already inside the resident tile, and loops irrelevant to a
+        # tensor broadcast it across PEs for free (NoC multicast).
+        traffic[tensor] = tiles[tensor] * crossings * workload.groups
+    return traffic
+
+
+def evaluate_layer(
+    workload: ConvWorkload,
+    dataflow: Dataflow,
+    device: Device,
+    pe_fraction: float = 1.0,
+    buffer_fraction: float = 1.0,
+) -> LayerCost:
+    """Cost one layer under one dataflow on one device.
+
+    ``pe_fraction`` / ``buffer_fraction`` scale the resources available
+    to this layer — the mechanism used to model pipelined execution,
+    where layers share the device (DNNBuilder-style stages).
+    """
+    if not dataflow.covers(workload):
+        return LayerCost.invalid("dataflow does not cover the loop bounds")
+    if dataflow.spatial_size > max(1, int(device.num_pes * pe_fraction)):
+        return LayerCost.invalid("spatial unrolling exceeds PE budget")
+
+    bits = workload.bits
+    word_scale = bits / BASE_WORD_BITS
+    levels = device.hierarchy.levels
+    num_levels = len(levels)
+    if len(dataflow.levels) != num_levels:
+        return LayerCost.invalid(
+            f"dataflow has {len(dataflow.levels)} levels, device {num_levels}"
+        )
+
+    # ---- capacity validity (double-buffered working sets) -------------
+    active_pes = dataflow.spatial_size
+    for li in range(1, num_levels):
+        resident = _resident_words(workload, dataflow, li)
+        words = sum(resident.values())
+        if li == num_levels - 1:
+            words *= active_pes  # RF capacity is aggregate over PEs
+        need_bits = words * bits * 2.0
+        cap = levels[li].capacity_bits
+        if cap is not None and need_bits > cap * buffer_fraction:
+            return LayerCost.invalid(
+                f"working set {need_bits/8:.0f}B exceeds {levels[li].name}"
+            )
+
+    # ---- traffic and energy -------------------------------------------
+    traffic_by_level: Dict[str, Dict[str, float]] = {}
+    energy = 0.0
+    dma_cycles = []
+    for boundary in range(num_levels - 1):
+        traffic = _tensor_traffic(workload, dataflow, boundary)
+        traffic_by_level[levels[boundary].name] = traffic
+        words = sum(traffic.values())
+        energy += words * levels[boundary].energy_per_word * word_scale
+        bw = levels[boundary].bandwidth_words / max(word_scale, 1e-9)
+        dma_cycles.append(words / max(bw, 1e-9))
+
+    macs = workload.macs
+    # Datapath: operand reads + accumulator update per MAC at RF cost.
+    rf_energy = levels[-1].energy_per_word * word_scale
+    energy += macs * 3.0 * rf_energy
+    energy += macs * device.mac_energy_at(bits)
+
+    # ---- latency --------------------------------------------------------
+    packing = device.macs_per_cycle(bits) / device.num_pes
+    effective = max(1.0, min(active_pes, device.num_pes * pe_fraction) * packing)
+    compute_cycles = macs / effective
+    cycles = max([compute_cycles] + dma_cycles)
+    latency_s = cycles / (device.clock_ghz * 1e9)
+    utilization = min(1.0, active_pes / max(device.num_pes * pe_fraction, 1.0))
+
+    return LayerCost(
+        valid=True,
+        energy_pj=energy,
+        cycles=cycles,
+        latency_s=latency_s,
+        traffic_words=traffic_by_level,
+        utilization=utilization,
+        macs=macs,
+    )
+
+
+def capacity_violation(
+    workload: ConvWorkload,
+    dataflow: Dataflow,
+    device: Device,
+    buffer_fraction: float = 1.0,
+) -> Optional[int]:
+    """Index of the first on-chip level whose capacity is exceeded.
+
+    Returns ``None`` when every double-buffered working set fits.
+    """
+    levels = device.hierarchy.levels
+    active_pes = dataflow.spatial_size
+    for li in range(1, len(levels)):
+        resident = _resident_words(workload, dataflow, li)
+        words = sum(resident.values())
+        if li == len(levels) - 1:
+            words *= active_pes
+        cap = levels[li].capacity_bits
+        if cap is not None and words * workload.bits * 2.0 > cap * buffer_fraction:
+            return li
+    return None
+
+
+def make_valid(
+    workload: ConvWorkload,
+    dataflow: Dataflow,
+    device: Device,
+    buffer_fraction: float = 1.0,
+    pe_fraction: float = 1.0,
+    max_iterations: int = 256,
+) -> Dataflow:
+    """Repair a dataflow into the valid region.
+
+    First patches coverage and PE budget (:func:`repair_dataflow`), then
+    resolves capacity violations by halving the largest inner tiling
+    factor of the offending level and pushing the displaced iterations
+    out to DRAM — monotonically shrinking working sets while preserving
+    coverage.  Used by AutoMapper and every baseline mapper so that the
+    search compares *schedules*, never feasibility luck.
+    """
+    from .dataflow import LevelTiling, repair_dataflow
+
+    flow = repair_dataflow(dataflow, workload, device)
+    pe_budget = max(1, int(device.num_pes * pe_fraction))
+    if flow.spatial_size > pe_budget:
+        spatial = dict(flow.spatial)
+        while int(np.prod([max(v, 1) for v in spatial.values()] or [1])) > pe_budget:
+            d = max(spatial, key=lambda d_: spatial[d_])
+            spatial[d] = max(1, spatial[d] // 2)
+            if spatial[d] == 1:
+                del spatial[d]
+        flow = repair_dataflow(
+            Dataflow(levels=flow.levels, spatial=spatial), workload, device
+        )
+    for _ in range(max_iterations):
+        violation = capacity_violation(workload, flow, device, buffer_fraction)
+        if violation is None:
+            return repair_dataflow(flow, workload, device)
+        levels = [
+            LevelTiling(order=l.order, tiles=dict(l.tiles)) for l in flow.levels
+        ]
+        spatial = dict(flow.spatial)
+        # Candidate factors at or inside the violating level.
+        candidates = []
+        for li in range(violation, len(levels)):
+            for d in DIMS:
+                f = levels[li].factor(d)
+                if f > 1:
+                    candidates.append((f, li, d))
+        if not candidates:
+            # Nothing temporal to shrink: reduce the spatial unrolling
+            # (its union inflates every level above the register files).
+            if not spatial:
+                return repair_dataflow(flow, workload, device)
+            d = max(spatial, key=lambda d_: spatial[d_])
+            spatial[d] = max(1, spatial[d] // 2)
+            if spatial[d] == 1:
+                del spatial[d]
+            flow = repair_dataflow(
+                Dataflow(levels=tuple(levels), spatial=spatial),
+                workload, device,
+            )
+            continue
+        f, li, d = max(candidates)
+        inner = dict(levels[li].tiles)
+        outer = dict(levels[0].tiles)
+        inner[d] = -(-f // 2)  # ceil: never lose loop-bound coverage
+        outer[d] = outer.get(d, 1) * 2
+        levels[li] = LevelTiling(levels[li].order, inner)
+        levels[0] = LevelTiling(levels[0].order, outer)
+        flow = Dataflow(levels=tuple(levels), spatial=spatial)
+    return repair_dataflow(flow, workload, device)
+
+
+def evaluate_network(
+    workloads: Sequence[ConvWorkload],
+    dataflows: Sequence[Dataflow],
+    device: Device,
+    pipeline: bool = False,
+) -> NetworkCost:
+    """Cost a whole network (the pipeline / multi-cycle choice applies).
+
+    Multi-cycle: each layer owns the full device in turn; per-frame
+    latency is the sum of layer latencies.
+    Pipeline: layers run as concurrent stages with PE and buffer shares
+    proportional to their MAC counts (DNNBuilder's allocation heuristic);
+    steady-state per-frame latency is the initiation interval — the
+    slowest stage — which is also what throughput-oriented FPGA designs
+    report.
+    """
+    if len(workloads) != len(dataflows):
+        raise ValueError(
+            f"{len(workloads)} workloads vs {len(dataflows)} dataflows"
+        )
+    layer_costs: List[LayerCost] = []
+    if pipeline:
+        total_macs = float(sum(w.macs for w in workloads)) or 1.0
+        for w, df in zip(workloads, dataflows):
+            share = max(w.macs / total_macs, 1.0 / (4 * len(workloads)))
+            layer_costs.append(
+                evaluate_layer(w, df, device, pe_fraction=share,
+                               buffer_fraction=share)
+            )
+    else:
+        layer_costs = [
+            evaluate_layer(w, df, device) for w, df in zip(workloads, dataflows)
+        ]
+    if not all(c.valid for c in layer_costs):
+        return NetworkCost(False, float("inf"), float("inf"), pipeline,
+                           tuple(layer_costs))
+    energy = sum(c.energy_pj for c in layer_costs)
+    if pipeline:
+        latency = max(c.latency_s for c in layer_costs)
+    else:
+        latency = sum(c.latency_s for c in layer_costs)
+    return NetworkCost(True, energy, latency, pipeline, tuple(layer_costs))

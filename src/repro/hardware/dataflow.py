@@ -1,0 +1,342 @@
+"""The paper's generic dataflow design space (Section III-D).
+
+A dataflow describes how a layer's 7-dim loop nest is scheduled across
+the memory hierarchy.  Following the paper, a point in the space fixes,
+*per memory level*:
+
+* **loop-order** — the processing order of the seven dimensions at that
+  level (any permutation; no template restriction, unlike MAGNet);
+* **loop-size** — the tiling factor of each dimension at that level
+  (how many child-level tiles that level iterates over);
+
+plus a **spatial unrolling** over the PE array and, at network level, the
+**pipeline / multi-cycle** execution choice.  The space is astronomically
+large (:func:`design_space_size` reports ~1e27 for AlexNet on a 4-level
+hierarchy, matching the paper's estimate), hence the evolutionary search
+in :mod:`repro.core.automapper`.
+
+Sampling honours platform flexibility: FPGA devices fix the loop orders
+of the two innermost levels (an HLS design bakes its pipeline structure
+into the bitstream), which is why automated search has more room to win
+on ASIC — the effect Fig. 5 reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import rng as rng_mod
+from .hierarchy import Device
+from .workload import DIMS, ConvWorkload
+
+__all__ = [
+    "LevelTiling",
+    "Dataflow",
+    "factorizations",
+    "random_dataflow",
+    "perturb_dataflow",
+    "repair_dataflow",
+    "design_space_size",
+    "CANONICAL_ORDER",
+]
+
+# The order HLS-style FPGA templates keep for their inner loops.
+CANONICAL_ORDER: Tuple[str, ...] = ("N", "K", "C", "Y", "X", "R", "S")
+
+
+@dataclass(frozen=True)
+class LevelTiling:
+    """Loop order and per-dimension tiling factors at one memory level."""
+
+    order: Tuple[str, ...]
+    tiles: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if sorted(self.order) != sorted(DIMS):
+            raise ValueError(f"order must permute {DIMS}, got {self.order}")
+        for d in DIMS:
+            if self.tiles.get(d, 1) < 1:
+                raise ValueError(f"tile factor for {d} must be >= 1")
+
+    def factor(self, dim: str) -> int:
+        return self.tiles.get(dim, 1)
+
+    def iterations(self) -> int:
+        """Total loop iterations executed at this level."""
+        return int(np.prod([self.factor(d) for d in DIMS]))
+
+
+@dataclass(frozen=True)
+class Dataflow:
+    """A complete per-layer mapping.
+
+    ``levels[0]`` is the outermost (DRAM) level; ``levels[-1]`` the
+    innermost (register file).  ``spatial`` unrolls dimensions across the
+    PE array (its product should not exceed the device's PE count).
+    """
+
+    levels: Tuple[LevelTiling, ...]
+    spatial: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for d, f in self.spatial.items():
+            if d not in DIMS:
+                raise ValueError(f"unknown spatial dim {d}")
+            if f < 1:
+                raise ValueError(f"spatial factor for {d} must be >= 1")
+
+    def spatial_factor(self, dim: str) -> int:
+        return self.spatial.get(dim, 1)
+
+    @property
+    def spatial_size(self) -> int:
+        return int(np.prod([self.spatial_factor(d) for d in DIMS]))
+
+    def coverage(self, dim: str) -> int:
+        """Product of all factors (temporal x spatial) for a dimension."""
+        total = self.spatial_factor(dim)
+        for level in self.levels:
+            total *= level.factor(dim)
+        return total
+
+    def covers(self, workload: ConvWorkload) -> bool:
+        """True when every loop bound is fully covered."""
+        return all(self.coverage(d) >= b for d, b in workload.dims.items())
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary (used by example scripts)."""
+        lines = []
+        for i, level in enumerate(self.levels):
+            tiles = {d: level.factor(d) for d in DIMS if level.factor(d) > 1}
+            lines.append(f"  L{i} order={''.join(level.order)} tiles={tiles}")
+        lines.append(f"  spatial={self.spatial}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Loop-size derivation ("a simple analytical algorithm to derive all
+# possible choices" — Section III-D)
+# ----------------------------------------------------------------------
+def factorizations(bound: int, num_levels: int) -> List[Tuple[int, ...]]:
+    """All ordered factor tuples whose product covers ``bound``.
+
+    Factors are drawn from the ceiling-divisor set of ``bound`` so that
+    every tuple covers the bound without gross over-provisioning.  This
+    enumerates the paper's loop-size axis exactly for small bounds and is
+    used by tests and the exhaustive-search ablation; the evolutionary
+    search samples from the same set.
+    """
+    if bound < 1 or num_levels < 1:
+        raise ValueError("bound and num_levels must be >= 1")
+    results: List[Tuple[int, ...]] = []
+
+    def recurse(remaining: int, levels_left: int, prefix: Tuple[int, ...]):
+        if levels_left == 1:
+            results.append(prefix + (remaining,))
+            return
+        for f in _ceil_divisors(remaining):
+            recurse(_ceil_div(remaining, f), levels_left - 1, prefix + (f,))
+
+    recurse(bound, num_levels, ())
+    return results
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _ceil_divisors(n: int) -> List[int]:
+    """Candidate tile factors for a loop bound of ``n`` (1..n)."""
+    if n == 1:
+        return [1]
+    cands = {1, n}
+    for f in range(2, n + 1):
+        if n % f == 0 or f < n:
+            cands.add(f)
+    return sorted(cands)
+
+
+# ----------------------------------------------------------------------
+# Random sampling / perturbation
+# ----------------------------------------------------------------------
+def _random_factor_split(
+    bound: int, num_levels: int, rng: np.random.Generator
+) -> List[int]:
+    """Split a loop bound into per-level factors, random but covering.
+
+    Draws are geometrically biased toward small factors at inner levels —
+    register files hold a handful of words, so uniform draws would make
+    nearly every sample blow the capacity constraints and strand the
+    evolutionary search in an all-invalid region.
+    """
+    factors = [1] * num_levels
+    remaining = bound
+    # Inner levels get progressively tighter caps (RF smallest).
+    for slot in range(num_levels - 1, 0, -1):
+        if remaining == 1:
+            break
+        depth_from_inner = num_levels - 1 - slot
+        cap = min(remaining, 4 * (2 ** depth_from_inner))
+        f = min(cap, 1 + int(rng.geometric(0.45)))
+        factors[slot] = f
+        remaining = _ceil_div(remaining, f)
+    factors[0] = remaining
+    return factors
+
+
+def random_dataflow(
+    workload: ConvWorkload,
+    device: Device,
+    rng: Optional[np.random.Generator] = None,
+) -> "Dataflow":
+    """Sample a random valid-shaped dataflow (capacity not yet enforced —
+    run :func:`repair_dataflow` afterwards, as the samplers in AutoMapper
+    do)."""
+    rng = rng or rng_mod.get_rng()
+    num_levels = len(device.hierarchy)
+    dims = workload.dims
+
+    # Spatial unrolling: parallelise 1-2 dimensions across the PE array.
+    spatial: Dict[str, int] = {}
+    budget = device.num_pes
+    spatial_dims = ["K", "C", "Y", "X"] if device.platform == "fpga" else list(DIMS)
+    chosen = rng.choice(spatial_dims, size=min(2, len(spatial_dims)), replace=False)
+    for d in chosen:
+        cap = min(dims[d], budget)
+        if cap < 1:
+            continue
+        f = int(rng.integers(1, cap + 1))
+        spatial[d] = f
+        budget = max(1, budget // max(f, 1))
+
+    levels = []
+    remaining = {d: _ceil_div(dims[d], spatial.get(d, 1)) for d in DIMS}
+    splits = {
+        d: _random_factor_split(remaining[d], num_levels, rng) for d in DIMS
+    }
+    for li in range(num_levels):
+        if device.platform == "fpga" and li >= num_levels - 2:
+            order = CANONICAL_ORDER
+        else:
+            order = tuple(rng.permutation(list(DIMS)))
+        tiles = {d: splits[d][li] for d in DIMS}
+        levels.append(LevelTiling(order=order, tiles=tiles))
+    return Dataflow(levels=tuple(levels), spatial=spatial)
+
+
+def perturb_dataflow(
+    dataflow: Dataflow,
+    workload: ConvWorkload,
+    device: Device,
+    k: int = 2,
+    rng: Optional[np.random.Generator] = None,
+) -> Dataflow:
+    """Randomly perturb ``k`` features (Alg. 1's mutation operator).
+
+    A feature is one of: swap two dims in one level's loop order, move
+    tile quantity of one dim between two levels, or resize one spatial
+    factor.  FPGA platforms never mutate their fixed inner orders.
+    """
+    rng = rng or rng_mod.get_rng()
+    levels = [
+        LevelTiling(order=l.order, tiles=dict(l.tiles)) for l in dataflow.levels
+    ]
+    spatial = dict(dataflow.spatial)
+    num_levels = len(levels)
+    mutable_order_levels = (
+        list(range(num_levels - 2)) if device.platform == "fpga"
+        else list(range(num_levels))
+    )
+
+    for _ in range(max(1, k)):
+        move = rng.integers(0, 3)
+        if move == 0 and mutable_order_levels:
+            # Swap two positions in one level's order.
+            li = int(rng.choice(mutable_order_levels))
+            order = list(levels[li].order)
+            i, j = rng.choice(len(order), size=2, replace=False)
+            order[i], order[j] = order[j], order[i]
+            levels[li] = LevelTiling(order=tuple(order), tiles=levels[li].tiles)
+        elif move == 1:
+            # Move tiling quantity of one dim between two levels.
+            d = str(rng.choice(list(DIMS)))
+            src, dst = rng.choice(num_levels, size=2, replace=False)
+            src_f = levels[src].factor(d)
+            if src_f > 1:
+                take = int(rng.integers(2, src_f + 1))
+                new_src = dict(levels[src].tiles)
+                new_dst = dict(levels[dst].tiles)
+                new_src[d] = _ceil_div(src_f, take)
+                new_dst[d] = levels[dst].factor(d) * take
+                levels[src] = LevelTiling(levels[src].order, new_src)
+                levels[dst] = LevelTiling(levels[dst].order, new_dst)
+        else:
+            # Resize a spatial factor.
+            spatial_dims = (
+                ["K", "C", "Y", "X"] if device.platform == "fpga" else list(DIMS)
+            )
+            d = str(rng.choice(spatial_dims))
+            cap = min(workload.dims[d], device.num_pes)
+            spatial[d] = int(rng.integers(1, cap + 1))
+            spatial = {k_: v for k_, v in spatial.items() if v > 1}
+
+    return Dataflow(levels=tuple(levels), spatial=spatial)
+
+
+def repair_dataflow(
+    dataflow: Dataflow, workload: ConvWorkload, device: Device
+) -> Dataflow:
+    """Make a dataflow cover the workload and respect PE limits.
+
+    Coverage holes are patched at the outermost (DRAM) level, which is
+    always legal since DRAM is unbounded; an oversized spatial product is
+    scaled down greedily.  Buffer-capacity violations are handled by the
+    cost model as hard invalidity (infinite cost) rather than silent
+    repair, so the search can learn the boundary.
+    """
+    levels = [
+        LevelTiling(order=l.order, tiles=dict(l.tiles)) for l in dataflow.levels
+    ]
+    spatial = dict(dataflow.spatial)
+
+    # Scale spatial down to the PE budget.
+    while int(np.prod([max(v, 1) for v in spatial.values()] or [1])) > device.num_pes:
+        d = max(spatial, key=lambda d_: spatial[d_])
+        spatial[d] = max(1, spatial[d] // 2)
+        if spatial[d] == 1:
+            del spatial[d]
+
+    # Re-derive the outermost (DRAM) factor of every dimension as the
+    # *minimal* cover: repeated perturb/repair cycles would otherwise
+    # compound over-coverage, and phantom iterations inflate the traffic
+    # model (crossings count loop factors, not capped extents).
+    outer = dict(levels[0].tiles)
+    for d, bound in workload.dims.items():
+        inner = spatial.get(d, 1)
+        for level in levels[1:]:
+            inner *= level.factor(d)
+        outer[d] = max(1, _ceil_div(bound, inner))
+    levels[0] = LevelTiling(levels[0].order, outer)
+    return Dataflow(levels=tuple(levels), spatial=spatial)
+
+
+def design_space_size(workload: ConvWorkload, num_levels: int = 4) -> float:
+    """Order-of-magnitude size of the mapping space for one layer.
+
+    Counts loop-order permutations per level times loop-size choices per
+    dimension (compositions of each bound's divisor chain across levels),
+    times the pipeline/multi-cycle bit.  Reported in the README to ground
+    the paper's "over 10^27 choices for AlexNet" claim.
+    """
+    order_choices = math.factorial(len(DIMS)) ** num_levels
+    size_choices = 1.0
+    for bound in workload.dims.values():
+        # Number of ways to write `bound` as an ordered product across
+        # levels, approximated by C(bound_exponents): use divisor count ^ levels.
+        divisors = len(_ceil_divisors(bound))
+        size_choices *= float(divisors) ** (num_levels - 1)
+    return 2.0 * order_choices * size_choices

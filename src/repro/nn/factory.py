@@ -1,0 +1,88 @@
+"""Layer factories decoupling model topology from precision handling.
+
+Every model in :mod:`repro.nn.models` builds its conv / linear / norm
+layers through a factory.  The default :class:`FloatFactory` produces
+plain float layers; :class:`repro.quant.SwitchableFactory` produces
+switchable-precision layers sharing one set of weights across a candidate
+bit-width set, with per-bit batch-norm.  This is how a single topology
+definition serves both the full-precision baselines and the SP-Nets the
+paper studies.
+"""
+
+from __future__ import annotations
+
+from .layers import BatchNorm2d, Conv2d, Linear, ReLU, ReLU6
+
+__all__ = ["LayerFactory", "FloatFactory"]
+
+
+class LayerFactory:
+    """Interface: build the precision-sensitive layers of a model."""
+
+    def conv(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = False,
+        quantize: bool = True,
+    ):
+        """Build a convolution.  ``quantize=False`` marks layers that stay
+        full-precision even in quantised models (conventionally the stem
+        and classifier, following DoReFa/SBM practice)."""
+        raise NotImplementedError
+
+    def linear(self, in_features: int, out_features: int, quantize: bool = True):
+        """Build a fully connected layer."""
+        raise NotImplementedError
+
+    def norm(self, num_features: int):
+        """Build a batch-norm layer."""
+        raise NotImplementedError
+
+    def activation(self):
+        """Build the model's activation module."""
+        raise NotImplementedError
+
+
+class FloatFactory(LayerFactory):
+    """Full-precision layers; the baseline configuration.
+
+    Parameters
+    ----------
+    activation:
+        ``"relu"`` or ``"relu6"`` — MobileNet-family models pass
+        ``"relu6"`` to keep activations bounded.
+    """
+
+    def __init__(self, activation: str = "relu"):
+        if activation not in ("relu", "relu6"):
+            raise ValueError(f"unknown activation {activation!r}")
+        self._activation = activation
+
+    def conv(
+        self,
+        in_channels,
+        out_channels,
+        kernel_size,
+        stride=1,
+        padding=0,
+        groups=1,
+        bias=False,
+        quantize=True,
+    ):
+        return Conv2d(
+            in_channels, out_channels, kernel_size, stride, padding, groups, bias
+        )
+
+    def linear(self, in_features, out_features, quantize=True):
+        return Linear(in_features, out_features)
+
+    def norm(self, num_features):
+        return BatchNorm2d(num_features)
+
+    def activation(self):
+        return ReLU6() if self._activation == "relu6" else ReLU()

@@ -1,0 +1,289 @@
+"""Core neural-network layers.
+
+These are the float building blocks; their switchable-precision
+counterparts live in :mod:`repro.quant.layers` and subclass
+:class:`Conv2d` / :class:`Linear`, so models built through a
+:class:`repro.nn.factory.LayerFactory` can swap precision handling without
+touching topology code.
+
+:class:`SwitchableBatchNorm2d` implements the per-bit-width batch-norm
+statistics ("switchable BN") that the paper adopts from the SP baseline
+[Guerra et al. 2020]: quantisation noise shifts activation statistics
+differently at each bit-width, so sharing one set of running statistics
+destroys low-bit accuracy (ablated in ``tests/test_switchable_bn.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import rng as rng_mod
+from ..tensor import (
+    Tensor,
+    avg_pool2d,
+    batch_norm2d,
+    conv2d,
+    global_avg_pool2d,
+    max_pool2d,
+    relu,
+    relu6,
+)
+from .module import Module, ModuleList, Parameter
+from . import profile as profile_mod
+
+__all__ = [
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "SwitchableBatchNorm2d",
+    "ReLU",
+    "ReLU6",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Identity",
+    "Dropout",
+    "kaiming_normal",
+]
+
+
+def kaiming_normal(shape: Sequence[int], fan: int, generator=None) -> np.ndarray:
+    """He-normal initialisation with the given fan (float32)."""
+    generator = generator or rng_mod.get_rng()
+    std = math.sqrt(2.0 / fan)
+    return (generator.normal(0.0, std, size=shape)).astype(np.float32)
+
+
+class Conv2d(Module):
+    """2-D convolution layer (NCHW), with optional channel groups.
+
+    ``groups == in_channels == out_channels`` gives the depthwise
+    convolution used by MobileNetV2's inverted-residual blocks.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = False,
+    ):
+        super().__init__()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"channels ({in_channels}->{out_channels}) must divide groups={groups}"
+            )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        fan_in = (in_channels // groups) * kernel_size * kernel_size
+        self.weight = Parameter(
+            kaiming_normal(
+                (out_channels, in_channels // groups, kernel_size, kernel_size),
+                fan=fan_in,
+            )
+        )
+        self.bias = Parameter(np.zeros(out_channels, dtype=np.float32)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        profiler = profile_mod.active_profiler()
+        if profiler is not None:
+            profiler.record_conv(self, x)
+        return conv2d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+        )
+
+    def flops(self, input_hw: int) -> int:
+        """Multiply-accumulate count for a square ``input_hw`` input."""
+        out_hw = (input_hw + 2 * self.padding - self.kernel_size) // self.stride + 1
+        per_position = (
+            self.kernel_size
+            * self.kernel_size
+            * (self.in_channels // self.groups)
+        )
+        return self.out_channels * out_hw * out_hw * per_position
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x @ W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            kaiming_normal((out_features, in_features), fan=in_features)
+        )
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        profiler = profile_mod.active_profiler()
+        if profiler is not None:
+            profiler.record_linear(self, x)
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def flops(self) -> int:
+        return self.in_features * self.out_features
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over NCHW with learnable affine and running stats."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features, dtype=np.float32))
+        self.beta = Parameter(np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return batch_norm2d(
+            x,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+
+class SwitchableBatchNorm2d(Module):
+    """One :class:`BatchNorm2d` per candidate bit-width.
+
+    :meth:`set_bitwidth` selects which statistics/affine pair the forward
+    pass uses.  All other layer types share weights across bit-widths; BN
+    is the one exception because activation statistics are bit-width
+    dependent (SP [Guerra et al. 2020], adopted by the paper's CDT setup).
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        bit_widths: Sequence[int],
+        momentum: float = 0.1,
+        eps: float = 1e-5,
+    ):
+        super().__init__()
+        if not bit_widths:
+            raise ValueError("bit_widths must be non-empty")
+        self.num_features = num_features
+        self.bit_widths = tuple(bit_widths)
+        self.bns = ModuleList(
+            [BatchNorm2d(num_features, momentum, eps) for _ in self.bit_widths]
+        )
+        self._active = 0
+
+    @property
+    def active_bitwidth(self) -> int:
+        return self.bit_widths[self._active]
+
+    def set_bitwidth(self, bits: int) -> None:
+        """Select the statistics used from now on; must be a candidate."""
+        try:
+            self._active = self.bit_widths.index(bits)
+        except ValueError:
+            raise ValueError(
+                f"bit-width {bits} not in candidate set {self.bit_widths}"
+            ) from None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.bns[self._active](x)
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return relu(x)
+
+
+class ReLU6(Module):
+    """ReLU clipped at 6 (MobileNetV2 activation; bounded for quantisers)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return relu6(x)
+
+
+class MaxPool2d(Module):
+    """Max pooling with square windows."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    """Average pooling with square windows."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """Adaptive average pool to 1x1 spatial size."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return global_avg_pool2d(x)
+
+
+class Flatten(Module):
+    """Flatten all but the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten(1)
+
+
+class Identity(Module):
+    """No-op module (used for skip candidates in the NAS search space)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.5):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (rng_mod.get_rng().random(x.shape) < keep).astype(x.dtype) / keep
+        return x * Tensor(mask)

@@ -1,0 +1,201 @@
+"""Minimal PyTorch-style module system on top of :mod:`repro.tensor`.
+
+A :class:`Module` owns :class:`Parameter` leaves (trainable tensors),
+buffers (plain NumPy arrays such as batch-norm running statistics), and
+child modules, all auto-registered through attribute assignment.  This is
+the organisational substrate every model, quantised layer and supernet in
+the reproduction builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as trainable state of a module."""
+
+    def __init__(self, data, name: Optional[str] = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class with automatic parameter / buffer / submodule registry."""
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_buffers", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            self._modules.pop(name, None)
+            self._buffers.pop(name, None)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self._parameters.pop(name, None)
+            self._buffers.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable persistent state (e.g. BN running stats).
+
+        The buffer is stored by reference; layers may mutate it in place.
+        """
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` over the whole subtree."""
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix + child_name + ".")
+
+    def parameters(self) -> List[Parameter]:
+        """All parameters of this module and its descendants."""
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield ``(dotted_name, buffer)`` over the whole subtree."""
+        for name, buf in self._buffers.items():
+            yield prefix + name, buf
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix + child_name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield self and all descendant modules, depth-first."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def apply(self, fn: Callable[["Module"], None]) -> "Module":
+        """Apply ``fn`` to every module in the subtree (like torch apply)."""
+        for module in self.modules():
+            fn(module)
+        return self
+
+    # ------------------------------------------------------------------
+    # Modes / gradients
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Switch training mode (affects BN statistics, dropout)."""
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to inference mode."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter in the subtree."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat dict of parameter and buffer arrays (copies)."""
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for name, buf in self.named_buffers():
+            state[name] = np.array(buf, copy=True)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load arrays saved by :meth:`state_dict` (strict name match)."""
+        own_params = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
+        missing = (set(own_params) | set(own_buffers)) - set(state)
+        unexpected = set(state) - (set(own_params) | set(own_buffers))
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own_params.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{param.data.shape} vs {state[name].shape}"
+                )
+            param.data[...] = state[name]
+        for name, buf in own_buffers.items():
+            buf[...] = state[name]
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def num_parameters(self) -> int:
+        """Total number of scalar weights."""
+        return sum(p.size for p in self.parameters())
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self._layers = []
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+            self._layers.append(layer)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+    def forward(self, x):
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+
+class ModuleList(Module):
+    """List container whose entries are registered as submodules."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._items: List[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        setattr(self, f"item{len(self._items)}", module)
+        self._items.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]

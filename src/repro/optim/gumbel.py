@@ -1,0 +1,55 @@
+"""Gumbel-softmax sampling for differentiable architecture search.
+
+SP-NAS follows FBNet [Wu et al. 2019]: each searchable layer holds a
+logit per candidate op, and the forward pass mixes candidate outputs with
+gumbel-softmax coefficients so architecture parameters receive gradients
+through the mixture.  The temperature anneals from 3 by x0.94 per epoch
+(paper's setting), sharpening the mixture toward a one-hot choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import rng as rng_mod
+from ..tensor import Tensor, softmax, straight_through
+
+__all__ = ["sample_gumbel", "gumbel_softmax"]
+
+
+def sample_gumbel(shape, rng=None, eps: float = 1e-20) -> np.ndarray:
+    """Draw standard Gumbel(0, 1) noise."""
+    rng = rng or rng_mod.get_rng()
+    u = rng.random(shape)
+    return -np.log(-np.log(u + eps) + eps).astype(np.float32)
+
+
+def gumbel_softmax(
+    logits: Tensor,
+    temperature: float,
+    hard: bool = False,
+    rng=None,
+) -> Tensor:
+    """Differentiable sample from a categorical given by ``logits``.
+
+    Parameters
+    ----------
+    logits:
+        Unnormalised log-probabilities (last axis = categories); gradients
+        flow back into them.
+    temperature:
+        Softmax temperature; lower is closer to one-hot.
+    hard:
+        Return a one-hot sample whose gradient is that of the soft sample
+        (straight-through gumbel).
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    noise = sample_gumbel(logits.shape, rng=rng)
+    y = softmax((logits + Tensor(noise)) * (1.0 / temperature), axis=-1)
+    if not hard:
+        return y
+    index = y.data.argmax(axis=-1)
+    one_hot = np.zeros_like(y.data)
+    np.put_along_axis(one_hot, index[..., None], 1.0, axis=-1)
+    return straight_through(y, one_hot)

@@ -1,0 +1,68 @@
+"""Learning-rate and temperature schedules.
+
+The paper's recipes: cosine-decayed LR for weight updates, a fixed LR for
+architecture parameters, and an exponentially decayed gumbel-softmax
+temperature (initial 3, x0.94 per epoch).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["CosineDecay", "StepDecay", "ExponentialDecay", "ConstantSchedule"]
+
+
+class ConstantSchedule:
+    """Always returns the same value."""
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def __call__(self, step: int) -> float:
+        return self.value
+
+
+class CosineDecay:
+    """Cosine annealing from ``initial`` to ``floor`` over ``total_steps``."""
+
+    def __init__(self, initial: float, total_steps: int, floor: float = 0.0):
+        if total_steps < 1:
+            raise ValueError(f"total_steps must be >= 1, got {total_steps}")
+        self.initial = float(initial)
+        self.total_steps = int(total_steps)
+        self.floor = float(floor)
+
+    def __call__(self, step: int) -> float:
+        progress = min(max(step, 0), self.total_steps) / self.total_steps
+        cos = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.floor + (self.initial - self.floor) * cos
+
+
+class StepDecay:
+    """Multiply by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, initial: float, step_size: int, gamma: float = 0.1):
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {step_size}")
+        self.initial = float(initial)
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def __call__(self, step: int) -> float:
+        return self.initial * self.gamma ** (step // self.step_size)
+
+
+class ExponentialDecay:
+    """``initial * gamma^step`` with an optional floor.
+
+    With ``initial=3.0, gamma=0.94`` and one step per epoch this is the
+    paper's gumbel-softmax temperature schedule.
+    """
+
+    def __init__(self, initial: float, gamma: float, floor: float = 0.0):
+        self.initial = float(initial)
+        self.gamma = float(gamma)
+        self.floor = float(floor)
+
+    def __call__(self, step: int) -> float:
+        return max(self.floor, self.initial * self.gamma ** step)

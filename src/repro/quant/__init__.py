@@ -1,0 +1,34 @@
+"""Quantisation substrate (system S4 in DESIGN.md)."""
+
+from .quantizers import (
+    FULL_PRECISION_BITS,
+    DoReFaQuantizer,
+    MinMaxQuantizer,
+    Quantizer,
+    SBMQuantizer,
+    make_quantizer,
+)
+from .layers import BitSpec, QuantConv2d, QuantLinear, normalize_bits
+from .factory import SwitchableFactory
+from .network import (
+    SwitchablePrecisionNetwork,
+    set_network_bitwidth,
+    sort_bitwidths,
+)
+
+__all__ = [
+    "FULL_PRECISION_BITS",
+    "DoReFaQuantizer",
+    "MinMaxQuantizer",
+    "Quantizer",
+    "SBMQuantizer",
+    "make_quantizer",
+    "BitSpec",
+    "QuantConv2d",
+    "QuantLinear",
+    "normalize_bits",
+    "SwitchableFactory",
+    "SwitchablePrecisionNetwork",
+    "set_network_bitwidth",
+    "sort_bitwidths",
+]

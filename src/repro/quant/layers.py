@@ -1,0 +1,122 @@
+"""Switchable-precision convolution and linear layers.
+
+These subclasses share ONE set of float weights across all candidate
+bit-widths (the defining property of SP-Nets): :meth:`set_bitwidth`
+changes only which quantisation grid the shared weights and incoming
+activations are snapped to on the next forward pass.  Together with
+per-bit batch norm (:class:`repro.nn.SwitchableBatchNorm2d`) this is the
+SP-Net parameterisation of AdaBits / SP that the paper builds CDT on.
+
+A bit-width may be a single int (weights and activations alike, as in
+Tables I-III) or a ``(weight_bits, activation_bits)`` pair (Table IV's
+W2A32 / W32A2 settings).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from ..nn import profile as profile_mod
+from ..nn.layers import Conv2d, Linear
+from ..tensor import Tensor, conv2d
+from .quantizers import Quantizer
+
+__all__ = ["BitSpec", "normalize_bits", "QuantConv2d", "QuantLinear"]
+
+BitSpec = Union[int, Tuple[int, int]]
+
+
+def normalize_bits(bits: BitSpec) -> Tuple[int, int]:
+    """Return ``(weight_bits, activation_bits)`` from an int or pair."""
+    if isinstance(bits, tuple):
+        if len(bits) != 2:
+            raise ValueError(f"bit pair must have 2 entries, got {bits}")
+        return int(bits[0]), int(bits[1])
+    return int(bits), int(bits)
+
+
+class _SwitchableMixin:
+    """Shared candidate-set bookkeeping for quantised layers."""
+
+    def _init_bits(self, bit_widths: Sequence[BitSpec], quantizer: Quantizer):
+        if not bit_widths:
+            raise ValueError("bit_widths must be non-empty")
+        self.bit_widths = tuple(bit_widths)
+        self.quantizer = quantizer
+        self._active_bits: BitSpec = self.bit_widths[-1]
+
+    @property
+    def active_bits(self) -> BitSpec:
+        return self._active_bits
+
+    def set_bitwidth(self, bits: BitSpec) -> None:
+        """Activate one of the candidate bit-widths."""
+        if bits not in self.bit_widths:
+            raise ValueError(
+                f"bit-width {bits} not in candidate set {self.bit_widths}"
+            )
+        self._active_bits = bits
+
+
+class QuantConv2d(Conv2d, _SwitchableMixin):
+    """Convolution with switchable weight/activation quantisation."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        bit_widths: Sequence[BitSpec],
+        quantizer: Quantizer,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = False,
+    ):
+        super().__init__(
+            in_channels, out_channels, kernel_size, stride, padding, groups, bias
+        )
+        self._init_bits(bit_widths, quantizer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        profiler = profile_mod.active_profiler()
+        if profiler is not None:
+            profiler.record_conv(self, x)
+        w_bits, a_bits = normalize_bits(self._active_bits)
+        x_q = self.quantizer.quantize_activation(x, a_bits)
+        w_q = self.quantizer.quantize_weight(self.weight, w_bits)
+        return conv2d(
+            x_q,
+            w_q,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+        )
+
+
+class QuantLinear(Linear, _SwitchableMixin):
+    """Fully connected layer with switchable weight/activation quantisation."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bit_widths: Sequence[BitSpec],
+        quantizer: Quantizer,
+        bias: bool = True,
+    ):
+        super().__init__(in_features, out_features, bias)
+        self._init_bits(bit_widths, quantizer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        profiler = profile_mod.active_profiler()
+        if profiler is not None:
+            profiler.record_linear(self, x)
+        w_bits, a_bits = normalize_bits(self._active_bits)
+        x_q = self.quantizer.quantize_activation(x, a_bits)
+        w_q = self.quantizer.quantize_weight(self.weight, w_bits)
+        out = x_q @ w_q.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out

@@ -1,0 +1,111 @@
+"""Network-level switchable-precision control.
+
+An SP-Net is an ordinary model whose precision-sensitive layers respond to
+``set_bitwidth``.  :func:`set_network_bitwidth` flips every such layer at
+once, and :class:`SwitchablePrecisionNetwork` packages a model + candidate
+set with the conveniences the trainers and experiment harness rely on
+(iterate bit-widths, temporarily switch, query the bottleneck bit).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Sequence
+
+from ..nn.module import Module
+from ..tensor import Tensor
+from .layers import BitSpec, normalize_bits
+
+__all__ = ["set_network_bitwidth", "SwitchablePrecisionNetwork", "sort_bitwidths"]
+
+
+def set_network_bitwidth(model: Module, bits: BitSpec) -> int:
+    """Switch every switchable layer in ``model`` to ``bits``.
+
+    Returns the number of layers switched (0 means the model has no
+    switchable layers — usually a configuration mistake, so callers may
+    assert on it).
+    """
+    switched = 0
+    for module in model.modules():
+        if module is model:
+            continue
+        setter = getattr(module, "set_bitwidth", None)
+        if callable(setter):
+            setter(bits)
+            switched += 1
+    return switched
+
+
+def sort_bitwidths(bit_widths: Sequence[BitSpec]) -> list:
+    """Sort candidate bit-widths from lowest to highest effective precision.
+
+    Pairs sort by ``weight_bits + activation_bits`` then weight bits; this
+    ordering defines "higher bit-width" for the cascade distillation
+    direction (Eq. 1 distills each width from all *higher* ones).
+    """
+
+    def key(bits: BitSpec):
+        w, a = normalize_bits(bits)
+        return (w + a, w, a)
+
+    return sorted(bit_widths, key=key)
+
+
+class SwitchablePrecisionNetwork(Module):
+    """A model plus its candidate bit-width set.
+
+    Thin wrapper used by the trainers: it owns no parameters of its own,
+    simply delegating to the wrapped model, but pins down the candidate
+    set and provides ergonomic switching.
+    """
+
+    def __init__(self, model: Module, bit_widths: Sequence[BitSpec]):
+        super().__init__()
+        if not bit_widths:
+            raise ValueError("bit_widths must be non-empty")
+        self.model = model
+        self.bit_widths = tuple(sort_bitwidths(bit_widths))
+        # Leave the network in its highest precision by default.
+        switched = set_network_bitwidth(model, self.bit_widths[-1])
+        if switched == 0:
+            raise ValueError(
+                "model has no switchable layers; build it with a "
+                "SwitchableFactory before wrapping"
+            )
+
+    @property
+    def lowest(self) -> BitSpec:
+        """The bottleneck bit-width (Eq. 2 updates architectures on it)."""
+        return self.bit_widths[0]
+
+    @property
+    def highest(self) -> BitSpec:
+        return self.bit_widths[-1]
+
+    def set_bitwidth(self, bits: BitSpec) -> None:
+        if bits not in self.bit_widths:
+            raise ValueError(f"{bits} not in candidate set {self.bit_widths}")
+        set_network_bitwidth(self.model, bits)
+        self._active = bits
+
+    @contextlib.contextmanager
+    def at(self, bits: BitSpec):
+        """Temporarily run the network at ``bits`` (restores previous)."""
+        previous = getattr(self, "_active", self.highest)
+        self.set_bitwidth(bits)
+        try:
+            yield self
+        finally:
+            self.set_bitwidth(previous)
+
+    def forward(self, x: Tensor, bits: BitSpec = None) -> Tensor:
+        if bits is not None:
+            self.set_bitwidth(bits)
+        return self.model(x)
+
+    def forward_all(self, x: Tensor) -> Iterator:
+        """Yield ``(bits, logits)`` for every candidate, lowest first."""
+        for bits in self.bit_widths:
+            self.set_bitwidth(bits)
+            yield bits, self.model(x)

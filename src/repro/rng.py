@@ -1,0 +1,42 @@
+"""Central random-number management.
+
+Everything stochastic in the library — weight init, data synthesis,
+shuffling, dropout, gumbel noise, evolutionary mutation — draws from RNGs
+created here, so a single :func:`set_seed` call makes an entire experiment
+reproducible. Components that need independent streams (e.g. a dataset that
+must yield the same images regardless of how many weights were initialised
+before it) should call :func:`spawn_rng` with a stable key instead of
+sharing the global stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["set_seed", "get_rng", "spawn_rng"]
+
+_GLOBAL_SEED = 0
+_GLOBAL_RNG = np.random.default_rng(_GLOBAL_SEED)
+
+
+def set_seed(seed: int) -> None:
+    """Re-seed the global RNG used by default across the library."""
+    global _GLOBAL_SEED, _GLOBAL_RNG
+    _GLOBAL_SEED = int(seed)
+    _GLOBAL_RNG = np.random.default_rng(_GLOBAL_SEED)
+
+
+def get_rng() -> np.random.Generator:
+    """Return the shared global generator."""
+    return _GLOBAL_RNG
+
+
+def spawn_rng(key: str) -> np.random.Generator:
+    """Return an independent generator derived from the global seed + key.
+
+    The same (seed, key) pair always yields the same stream, regardless of
+    how much randomness other components consumed.
+    """
+    digest = np.frombuffer(key.encode("utf-8"), dtype=np.uint8)
+    mix = int(digest.sum()) * 1_000_003 + len(key) * 7919
+    return np.random.default_rng([_GLOBAL_SEED, mix])

@@ -1,0 +1,275 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module is the computational substrate for the whole reproduction: the
+paper trains switchable-precision networks with PyTorch, and this engine
+stands in for it (see DESIGN.md, substitution table).  It implements a
+define-by-run tape: every differentiable operation creates a new
+:class:`Tensor` holding a backward closure, and :meth:`Tensor.backward`
+replays the closures in reverse topological order.
+
+Only the features the reproduction needs are implemented, but those are
+implemented fully and are gradient-checked in ``tests/test_tensor_*``:
+
+* broadcasting binary arithmetic,
+* matmul / conv2d (with groups, so depthwise convolutions work),
+* batch normalisation with batch statistics,
+* reductions, softmax and the losses used by cascade distillation,
+* straight-through estimators for quantisers (identity gradient).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "ensure_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+]
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (like ``torch.no_grad``).
+
+    Used by evaluation loops and by the quantisers when computing scale
+    factors that must not be differentiated through.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations will be recorded on the tape."""
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting.
+
+    If an operand of shape ``shape`` was broadcast up to ``grad.shape``
+    during the forward pass, the chain rule requires summing the incoming
+    gradient over every broadcast axis.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array plus gradient bookkeeping.
+
+    Parameters
+    ----------
+    data:
+        Array (or scalar / nested sequence) holding the value.  Integer
+        inputs are kept as-is (useful for label tensors); floating inputs
+        keep their dtype.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: tuple = (),
+        name: Optional[str] = None,
+    ):
+        if isinstance(data, Tensor):  # defensive: unwrap accidental nesting
+            data = data.data
+        if isinstance(data, np.generic):
+            # NumPy scalar (e.g. the result of ndarray.sum()): keep dtype.
+            data = np.asarray(data)
+        elif not isinstance(data, np.ndarray):
+            # Python scalars / sequences default to float32, the library's
+            # working precision; pass an ndarray to choose another dtype.
+            data = np.asarray(data, dtype=np.float32)
+        self.data = data
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents = _parents
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{grad_note})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0])
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph.
+
+        This is the ``SG`` (stop-gradient) operator of Eq. 1 in the paper:
+        distillation targets from higher bit-widths are detached so that
+        the teacher branch receives no gradient from the student's loss.
+        """
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        """Return a graph-detached deep copy."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Autograd
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor.  Defaults
+            to 1 for scalar tensors (the usual loss case).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient is only valid "
+                    f"for scalar tensors, got shape {self.data.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        order = _topological_order(self)
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor: accumulate into .grad.
+                node._accumulate(node_grad)
+            if node._backward is not None:
+                node._backward_dispatch(node_grad, grads)
+
+    def _backward_dispatch(self, node_grad: np.ndarray, grads: dict) -> None:
+        """Run this node's backward closure, accumulating parent grads."""
+        parent_grads = self._backward(node_grad)
+        if parent_grads is None:
+            return
+        for parent, pgrad in zip(self._parents, parent_grads):
+            if pgrad is None or not isinstance(parent, Tensor):
+                continue
+            if not parent.requires_grad:
+                continue
+            key = id(parent)
+            if key in grads:
+                grads[key] = grads[key] + pgrad
+            else:
+                grads[key] = pgrad
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+
+def _topological_order(root: Tensor) -> list:
+    """Return tensors reachable from ``root`` in reverse topological order."""
+    order: list = []
+    visited: set = set()
+    stack = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if isinstance(parent, Tensor) and id(parent) not in visited:
+                stack.append((parent, False))
+    order.reverse()
+    return order
+
+
+def ensure_tensor(value: ArrayLike) -> Tensor:
+    """Wrap ``value`` in a :class:`Tensor` if it is not one already."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def make_op(
+    out_data: np.ndarray,
+    parents: Iterable,
+    backward: Callable[[np.ndarray], tuple],
+) -> Tensor:
+    """Create the output tensor of a differentiable operation.
+
+    ``backward`` receives the gradient w.r.t. the output and must return a
+    tuple of gradients aligned with ``parents`` (``None`` entries allowed).
+    Graph edges are only recorded while gradients are enabled and at least
+    one parent requires them; otherwise the result is a detached tensor,
+    which keeps inference loops allocation-light.
+    """
+    parents = tuple(parents)
+    requires = _GRAD_ENABLED and any(
+        isinstance(p, Tensor) and p.requires_grad for p in parents
+    )
+    out = Tensor(out_data, requires_grad=requires, _parents=parents if requires else ())
+    if requires:
+        out._backward = backward
+    return out

@@ -1,0 +1,202 @@
+"""Differentiable 2-D convolution and pooling via im2col.
+
+Convolution supports ``groups`` so that MobileNetV2's depthwise layers —
+the layers whose quantisation sensitivity motivates cascade distillation in
+the paper — run through exactly the same code path as dense convolutions.
+
+Layout convention is NCHW throughout, matching both the PyTorch reference
+and the loop-nest nomenclature used by the hardware cost model
+(:mod:`repro.hardware`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .autograd import Tensor, ensure_tensor, make_op
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "avg_pool2d",
+    "max_pool2d",
+    "global_avg_pool2d",
+    "conv_output_size",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window sweep."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
+) -> np.ndarray:
+    """Unfold ``x`` (N, C, H, W) into columns (N, C*KH*KW, OH*OW).
+
+    Uses a strided sliding-window view so the only copy is the final
+    ``reshape`` — this keeps CPU training of the scaled-down models fast
+    enough for the experiment harness.
+    """
+    kh, kw = kernel
+    n, c, h, w = x.shape
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]  # (N, C, OH, OW, KH, KW)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, oh * ow)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold columns back to an image, summing overlapping contributions.
+
+    Exact adjoint of :func:`im2col`; together they make conv2d's backward
+    pass pass numerical gradient checks.
+    """
+    kh, kw = kernel
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * padding, w + 2 * padding
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    x_padded = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            x_padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j]
+    if padding > 0:
+        return x_padded[:, :, padding:-padding, padding:-padding]
+    return x_padded
+
+
+def conv2d(
+    x,
+    weight,
+    bias=None,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> Tensor:
+    """2-D convolution.
+
+    Parameters
+    ----------
+    x:
+        Input tensor (N, C_in, H, W).
+    weight:
+        Filter tensor (C_out, C_in // groups, KH, KW).
+    bias:
+        Optional (C_out,) tensor.
+    groups:
+        Channel groups; ``groups == C_in`` with ``C_out == C_in`` gives a
+        depthwise convolution.
+    """
+    x, weight = ensure_tensor(x), ensure_tensor(weight)
+    n, c_in, h, w = x.shape
+    c_out, c_in_g, kh, kw = weight.shape
+    if c_in_g * groups != c_in:
+        raise ValueError(
+            f"weight expects {c_in_g * groups} input channels, got {c_in}"
+        )
+    if c_out % groups:
+        raise ValueError(f"C_out={c_out} not divisible by groups={groups}")
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+
+    cols = im2col(x.data, (kh, kw), stride, padding)  # (N, C*KH*KW, L)
+    l = oh * ow
+    c_out_g = c_out // groups
+    k = c_in_g * kh * kw
+    cols_g = cols.reshape(n, groups, k, l)
+    w_g = weight.data.reshape(groups, c_out_g, k)
+    out = np.einsum("gok,ngkl->ngol", w_g, cols_g, optimize=True)
+    out = out.reshape(n, c_out, oh, ow)
+    if bias is not None:
+        bias = ensure_tensor(bias)
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight, bias) if bias is not None else (x, weight)
+
+    def backward(grad):
+        grad_g = grad.reshape(n, groups, c_out_g, l)
+        gw = np.einsum("ngol,ngkl->gok", grad_g, cols_g, optimize=True)
+        gw = gw.reshape(c_out, c_in_g, kh, kw)
+        gcols = np.einsum("gok,ngol->ngkl", w_g, grad_g, optimize=True)
+        gcols = gcols.reshape(n, c_in * kh * kw, l)
+        gx = col2im(gcols, (n, c_in, h, w), (kh, kw), stride, padding)
+        if bias is not None:
+            gb = grad.sum(axis=(0, 2, 3))
+            return gx, gw, gb
+        return gx, gw
+
+    return make_op(out, parents, backward)
+
+
+def avg_pool2d(x, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling with square windows (no padding)."""
+    x = ensure_tensor(x)
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kernel, stride, 0)
+    ow = conv_output_size(w, kernel, stride, 0)
+    windows = np.lib.stride_tricks.sliding_window_view(
+        x.data, (kernel, kernel), axis=(2, 3)
+    )[:, :, ::stride, ::stride]
+    out = windows.mean(axis=(4, 5))
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(grad):
+        gx = np.zeros_like(x.data)
+        g = grad * scale
+        for i in range(kernel):
+            for j in range(kernel):
+                gx[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += g
+        return (gx,)
+
+    return make_op(out, (x,), backward)
+
+
+def max_pool2d(x, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling with square windows (no padding)."""
+    x = ensure_tensor(x)
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kernel, stride, 0)
+    ow = conv_output_size(w, kernel, stride, 0)
+    windows = np.lib.stride_tricks.sliding_window_view(
+        x.data, (kernel, kernel), axis=(2, 3)
+    )[:, :, ::stride, ::stride]
+    flat = windows.reshape(n, c, oh, ow, kernel * kernel)
+    arg = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+
+    def backward(grad):
+        gx = np.zeros_like(x.data)
+        ki, kj = np.divmod(arg, kernel)
+        ni, ci, oi, oj = np.indices(arg.shape)
+        rows = oi * stride + ki
+        cols = oj * stride + kj
+        np.add.at(gx, (ni, ci, rows, cols), grad)
+        return (gx,)
+
+    return make_op(out, (x,), backward)
+
+
+def global_avg_pool2d(x) -> Tensor:
+    """Average over all spatial positions, keeping (N, C, 1, 1)."""
+    x = ensure_tensor(x)
+    return x.mean(axis=(2, 3), keepdims=True)

@@ -1,0 +1,19 @@
+"""Shared fixtures: deterministic seeding for every test."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+
+
+@pytest.fixture(autouse=True)
+def _seed_everything():
+    """Reset the library RNG before each test for full determinism."""
+    rng_mod.set_seed(1234)
+    yield
+
+
+@pytest.fixture
+def rng():
+    """A NumPy generator independent of the library's global stream."""
+    return np.random.default_rng(99)

@@ -1,0 +1,94 @@
+"""Expert dataflow baselines: validity and characteristic structure."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dataflows import (
+    MAGNET_TEMPLATES,
+    baseline_mapper,
+    chaidnn_mapper,
+    dnnbuilder_mapper,
+    eyeriss_row_stationary,
+    magnet_mapper,
+)
+from repro.hardware import (
+    alexnet_workloads,
+    evaluate_layer,
+    eyeriss_like_asic,
+    mobilenetv2_workloads,
+    zc706_like_fpga,
+)
+
+ASIC = eyeriss_like_asic()
+FPGA = zc706_like_fpga()
+
+
+class TestPerLayerMappers:
+    @pytest.mark.parametrize("mapper", [eyeriss_row_stationary, chaidnn_mapper])
+    def test_valid_on_alexnet_asic(self, mapper):
+        for w in alexnet_workloads():
+            flow = mapper(w, ASIC)
+            assert evaluate_layer(w, flow, ASIC).valid, w.name
+
+    def test_dnnbuilder_valid_on_fpga(self):
+        for w in alexnet_workloads()[:4]:
+            flow = dnnbuilder_mapper(w, FPGA, tuning_budget=10)
+            assert evaluate_layer(w, flow, FPGA).valid, w.name
+
+    def test_eyeriss_valid_on_depthwise(self):
+        dw = [w for w in mobilenetv2_workloads() if w.groups > 1][0]
+        flow = eyeriss_row_stationary(dw, ASIC)
+        assert evaluate_layer(dw, flow, ASIC).valid
+
+    def test_eyeriss_uses_row_spatial(self):
+        w = alexnet_workloads()[1]
+        flow = eyeriss_row_stationary(w, ASIC)
+        # RS maps filter rows and output rows across the array.
+        assert flow.spatial_factor("R") > 1 or flow.spatial_factor("Y") > 1
+
+
+class TestMagnet:
+    def test_templates_are_permutations(self):
+        from repro.hardware.workload import DIMS
+
+        for name, orders in MAGNET_TEMPLATES.items():
+            assert len(orders) == 4
+            for order in orders:
+                assert sorted(order) == sorted(DIMS), name
+
+    def test_magnet_picks_one_template_for_network(self):
+        wls = alexnet_workloads()[:3]
+        flows, template = magnet_mapper(wls, ASIC, tuning_budget=5)
+        assert template in MAGNET_TEMPLATES
+        assert len(flows) == 3
+        for w, f in zip(wls, flows):
+            assert evaluate_layer(w, f, ASIC).valid
+
+    def test_magnet_orders_frozen_to_template(self):
+        wls = alexnet_workloads()[:2]
+        flows, template = magnet_mapper(wls, ASIC, tuning_budget=5)
+        expected = MAGNET_TEMPLATES[template]
+        for flow in flows:
+            for level, order in zip(flow.levels, expected):
+                assert level.order == tuple(order)
+
+
+class TestBaselineMapperAPI:
+    def test_all_baselines_produce_valid_networks(self):
+        wls = alexnet_workloads()[:4]
+        for name, dev in (("eyeriss", ASIC), ("magnet", ASIC),
+                          ("chaidnn", FPGA), ("dnnbuilder", FPGA)):
+            cost = baseline_mapper(name, wls, dev)
+            assert cost.valid, name
+
+    def test_dnnbuilder_is_pipelined(self):
+        cost = baseline_mapper("dnnbuilder", alexnet_workloads()[:3], FPGA)
+        assert cost.pipeline
+
+    def test_eyeriss_is_multicycle(self):
+        cost = baseline_mapper("eyeriss", alexnet_workloads()[:3], ASIC)
+        assert not cost.pipeline
+
+    def test_unknown_baseline(self):
+        with pytest.raises(ValueError):
+            baseline_mapper("tpu", alexnet_workloads()[:1], ASIC)

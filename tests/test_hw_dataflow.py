@@ -1,0 +1,150 @@
+"""Dataflow space: tilings, sampling, perturbation, repair."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import (
+    CANONICAL_ORDER,
+    ConvWorkload,
+    Dataflow,
+    LevelTiling,
+    design_space_size,
+    eyeriss_like_asic,
+    factorizations,
+    perturb_dataflow,
+    random_dataflow,
+    repair_dataflow,
+    zc706_like_fpga,
+)
+
+WL = ConvWorkload("t", 1, 16, 8, 14, 14, 3, 3)
+
+
+class TestLevelTiling:
+    def test_order_must_be_permutation(self):
+        with pytest.raises(ValueError):
+            LevelTiling(order=("N", "N", "C", "Y", "X", "R", "S"))
+
+    def test_factor_defaults_to_one(self):
+        lt = LevelTiling(order=CANONICAL_ORDER, tiles={"K": 4})
+        assert lt.factor("K") == 4 and lt.factor("C") == 1
+
+    def test_iterations(self):
+        lt = LevelTiling(order=CANONICAL_ORDER, tiles={"K": 4, "C": 2})
+        assert lt.iterations() == 8
+
+    def test_rejects_zero_factor(self):
+        with pytest.raises(ValueError):
+            LevelTiling(order=CANONICAL_ORDER, tiles={"K": 0})
+
+
+class TestDataflow:
+    def test_coverage_product(self):
+        flow = Dataflow(
+            levels=(
+                LevelTiling(CANONICAL_ORDER, {"K": 4}),
+                LevelTiling(CANONICAL_ORDER, {"K": 2}),
+                LevelTiling(CANONICAL_ORDER, {}),
+                LevelTiling(CANONICAL_ORDER, {}),
+            ),
+            spatial={"K": 2},
+        )
+        assert flow.coverage("K") == 16
+
+    def test_covers(self):
+        flow = repair_dataflow(
+            Dataflow(levels=tuple(LevelTiling(CANONICAL_ORDER, {})
+                                  for _ in range(4))),
+            WL, eyeriss_like_asic(),
+        )
+        assert flow.covers(WL)
+
+    def test_spatial_validation(self):
+        with pytest.raises(ValueError):
+            Dataflow(levels=(LevelTiling(CANONICAL_ORDER, {}),) * 4,
+                     spatial={"Z": 2})
+
+    def test_describe_is_text(self):
+        flow = random_dataflow(WL, eyeriss_like_asic())
+        assert "spatial" in flow.describe()
+
+
+class TestFactorizations:
+    def test_products_cover_bound(self):
+        for combo in factorizations(12, 3):
+            assert np.prod(combo) >= 12
+
+    def test_single_level(self):
+        assert factorizations(7, 1) == [(7,)]
+
+    def test_bound_one(self):
+        assert factorizations(1, 3) == [(1, 1, 1)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            factorizations(0, 2)
+
+
+class TestSamplingAndRepair:
+    def test_random_dataflow_has_device_levels(self):
+        dev = eyeriss_like_asic()
+        flow = random_dataflow(WL, dev)
+        assert len(flow.levels) == len(dev.hierarchy)
+
+    def test_fpga_inner_orders_fixed(self):
+        dev = zc706_like_fpga()
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            flow = random_dataflow(WL, dev, rng)
+            assert flow.levels[-1].order == CANONICAL_ORDER
+            assert flow.levels[-2].order == CANONICAL_ORDER
+
+    def test_repair_fixes_coverage(self):
+        dev = eyeriss_like_asic()
+        empty = Dataflow(levels=tuple(
+            LevelTiling(CANONICAL_ORDER, {}) for _ in range(4)))
+        fixed = repair_dataflow(empty, WL, dev)
+        assert fixed.covers(WL)
+
+    def test_repair_caps_spatial(self):
+        dev = eyeriss_like_asic()
+        flow = Dataflow(
+            levels=tuple(LevelTiling(CANONICAL_ORDER, {}) for _ in range(4)),
+            spatial={"K": 16, "Y": 14, "X": 14},  # 3136 >> 168 PEs
+        )
+        fixed = repair_dataflow(flow, WL, dev)
+        assert fixed.spatial_size <= dev.num_pes
+
+    def test_perturb_returns_valid_structure(self):
+        dev = eyeriss_like_asic()
+        rng = np.random.default_rng(0)
+        flow = random_dataflow(WL, dev, rng)
+        for _ in range(20):
+            flow = perturb_dataflow(flow, WL, dev, k=2, rng=rng)
+            assert len(flow.levels) == 4  # structure preserved
+
+    def test_perturb_fpga_keeps_inner_orders(self):
+        dev = zc706_like_fpga()
+        rng = np.random.default_rng(0)
+        flow = random_dataflow(WL, dev, rng)
+        for _ in range(30):
+            flow = perturb_dataflow(flow, WL, dev, rng=rng)
+        assert flow.levels[-1].order == CANONICAL_ORDER
+
+    def test_design_space_is_astronomical_for_alexnet(self):
+        from repro.hardware import alexnet_workloads
+
+        size = design_space_size(alexnet_workloads()[1])
+        assert size > 1e27  # the paper's ">10^27" claim
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_random_flows_repairable_to_coverage(seed):
+    dev = eyeriss_like_asic()
+    rng = np.random.default_rng(seed)
+    flow = repair_dataflow(random_dataflow(WL, dev, rng), WL, dev)
+    assert flow.covers(WL)
+    assert flow.spatial_size <= dev.num_pes

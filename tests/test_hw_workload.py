@@ -1,0 +1,103 @@
+"""Workload descriptors and the Fig. 5 network tables."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    ConvWorkload,
+    alexnet_workloads,
+    extract_workloads,
+    mobilenetv2_workloads,
+    network_by_name,
+    resnet50_workloads,
+    vgg16_workloads,
+)
+
+
+class TestConvWorkload:
+    def test_macs_basic(self):
+        wl = ConvWorkload("t", 1, 8, 4, 10, 10, 3, 3)
+        assert wl.macs == 8 * 4 * 100 * 9
+
+    def test_macs_depthwise_groups(self):
+        wl = ConvWorkload("dw", 1, 32, 1, 10, 10, 3, 3, groups=32)
+        assert wl.macs == 32 * 100 * 9
+
+    def test_tensor_words(self):
+        wl = ConvWorkload("t", 2, 8, 4, 5, 5, 3, 3, stride=1)
+        words = wl.tensor_words()
+        assert words["W"] == 8 * 4 * 9
+        assert words["O"] == 2 * 8 * 25
+        assert words["I"] == 2 * 4 * 7 * 7  # halo: (5-1)*1+3 = 7
+
+    def test_dims_per_group(self):
+        wl = ConvWorkload("g", 1, 16, 4, 5, 5, 3, 3, groups=4)
+        assert wl.dims["K"] == 4 and wl.dims["C"] == 4
+
+    def test_with_bits_and_batch(self):
+        wl = ConvWorkload("t", 1, 8, 4, 5, 5, 3, 3, bits=16)
+        assert wl.with_bits(4).bits == 4
+        assert wl.with_batch(8).n == 8
+        assert wl.bits == 16  # frozen original unchanged
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvWorkload("bad", 0, 8, 4, 5, 5, 3, 3)
+        with pytest.raises(ValueError):
+            ConvWorkload("bad", 1, 9, 4, 5, 5, 3, 3, groups=2)
+
+    def test_input_tile_hw(self):
+        wl = ConvWorkload("t", 1, 8, 4, 10, 10, 3, 3, stride=2)
+        assert wl.input_tile_hw(4, 4) == (9, 9)
+
+
+class TestNetworkTables:
+    def test_alexnet_layer_count_and_macs(self):
+        wls = alexnet_workloads()
+        assert len(wls) == 8
+        total = sum(w.macs for w in wls)
+        # The single-tower (ungrouped) AlexNet is ~1.07G conv MACs plus
+        # ~58.6M FC MACs; the original 2-GPU grouping would halve conv2/4/5.
+        assert 1.0e9 < total < 1.3e9
+
+    def test_vgg16_macs(self):
+        total = sum(w.macs for w in vgg16_workloads())
+        # VGG16 is ~15.5G MACs (the paper's 19.6E9 counts multiply+add).
+        assert 1.4e10 < total < 1.7e10
+
+    def test_resnet50_macs(self):
+        total = sum(w.macs for w in resnet50_workloads())
+        assert 3.0e9 < total < 4.5e9  # ~3.8G MACs
+
+    def test_mobilenetv2_macs(self):
+        total = sum(w.macs for w in mobilenetv2_workloads())
+        assert 2.0e8 < total < 4.0e8  # ~300M MACs
+
+    def test_mobilenetv2_has_depthwise(self):
+        assert any(w.groups > 1 for w in mobilenetv2_workloads())
+
+    def test_network_by_name(self):
+        assert len(network_by_name("vgg16")) == 16
+        with pytest.raises(ValueError):
+            network_by_name("lenet")
+
+    def test_bits_propagate(self):
+        assert all(w.bits == 4 for w in alexnet_workloads(bits=4))
+
+
+class TestExtraction:
+    def test_extract_matches_profile(self):
+        from repro.nn import models
+
+        model = models.resnet8(num_classes=5, width_mult=0.5)
+        wls = extract_workloads(model, 16, bits=8)
+        assert all(w.bits == 8 for w in wls)
+        assert any(w.y == 16 for w in wls)  # stem keeps resolution
+        assert wls[-1].y == 1  # classifier is a 1x1 "conv"
+
+    def test_extract_macs_equals_count_flops(self):
+        from repro.nn import count_flops, models
+
+        model = models.mobilenet_v2(num_classes=5, setting="tiny")
+        wls = extract_workloads(model, 16)
+        assert sum(w.macs for w in wls) == count_flops(model, 16)

@@ -1,0 +1,152 @@
+"""Layer semantics: conv, linear, batch norm, switchable BN, dropout."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ReLU6,
+    SwitchableBatchNorm2d,
+)
+from repro.tensor import Tensor
+
+
+def x4(n=2, c=3, h=8, w=8):
+    return Tensor(rng_mod.get_rng().normal(size=(n, c, h, w)).astype(np.float32))
+
+
+class TestConvLinear:
+    def test_conv_shape(self):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1)
+        assert conv(x4()).shape == (2, 8, 4, 4)
+
+    def test_conv_bias_shape(self):
+        conv = Conv2d(3, 8, 1, bias=True)
+        assert conv.bias.shape == (8,)
+
+    def test_conv_rejects_bad_groups(self):
+        with pytest.raises(ValueError, match="groups"):
+            Conv2d(3, 8, 3, groups=2)
+
+    def test_conv_flops(self):
+        conv = Conv2d(3, 8, 3, padding=1)
+        assert conv.flops(8) == 8 * 8 * 8 * 3 * 9
+
+    def test_linear_shape(self):
+        linear = Linear(10, 5)
+        out = linear(Tensor(np.zeros((4, 10), dtype=np.float32)))
+        assert out.shape == (4, 5)
+
+    def test_linear_no_bias(self):
+        assert Linear(4, 2, bias=False).bias is None
+
+    def test_init_scale_reasonable(self):
+        conv = Conv2d(16, 16, 3)
+        std = conv.weight.data.std()
+        expected = np.sqrt(2.0 / (16 * 9))
+        assert 0.5 * expected < std < 2.0 * expected
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self):
+        bn = BatchNorm2d(3)
+        x = x4(n=8)
+        out = bn(x)
+        assert abs(float(out.data.mean())) < 1e-5
+        assert float(out.data.var()) == pytest.approx(1.0, abs=0.05)
+
+    def test_running_stats_updated_in_training_only(self):
+        bn = BatchNorm2d(3)
+        before = bn.running_mean.copy()
+        bn(x4())
+        assert not np.allclose(bn.running_mean, before)
+        bn.eval()
+        frozen = bn.running_mean.copy()
+        bn(x4())
+        assert np.allclose(bn.running_mean, frozen)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2d(3)
+        for _ in range(50):
+            bn(x4(n=16))
+        bn.eval()
+        out = bn(x4(n=16))
+        assert abs(float(out.data.mean())) < 0.3
+
+
+class TestSwitchableBN:
+    def test_independent_statistics_per_bitwidth(self):
+        sbn = SwitchableBatchNorm2d(3, [4, 8, 32])
+        sbn.set_bitwidth(4)
+        sbn(x4())
+        # Only the 4-bit BN should have moved.
+        assert not np.allclose(sbn.bns[0].running_mean, 0.0)
+        assert np.allclose(sbn.bns[1].running_mean, 0.0)
+        assert np.allclose(sbn.bns[2].running_mean, 0.0)
+
+    def test_active_bitwidth(self):
+        sbn = SwitchableBatchNorm2d(3, [4, 8])
+        sbn.set_bitwidth(8)
+        assert sbn.active_bitwidth == 8
+
+    def test_rejects_unknown_bitwidth(self):
+        sbn = SwitchableBatchNorm2d(3, [4, 8])
+        with pytest.raises(ValueError, match="candidate"):
+            sbn.set_bitwidth(16)
+
+    def test_rejects_empty_candidates(self):
+        with pytest.raises(ValueError):
+            SwitchableBatchNorm2d(3, [])
+
+    def test_tuple_bit_candidates(self):
+        sbn = SwitchableBatchNorm2d(3, [(2, 2), (32, 32)])
+        sbn.set_bitwidth((2, 2))
+        assert sbn.active_bitwidth == (2, 2)
+
+
+class TestActivationsPoolsMisc:
+    def test_relu6_bounds(self):
+        out = ReLU6()(Tensor(np.array([-5.0, 3.0, 50.0], dtype=np.float32)))
+        assert np.allclose(out.data, [0.0, 3.0, 6.0])
+
+    def test_relu(self):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0], dtype=np.float32)))
+        assert np.allclose(out.data, [0.0, 2.0])
+
+    def test_pools(self):
+        assert MaxPool2d(2)(x4()).shape == (2, 3, 4, 4)
+        assert AvgPool2d(2)(x4()).shape == (2, 3, 4, 4)
+        assert GlobalAvgPool2d()(x4()).shape == (2, 3, 1, 1)
+
+    def test_flatten_identity(self):
+        assert Flatten()(x4()).shape == (2, 3 * 64)
+        x = x4()
+        assert Identity()(x) is x
+
+    def test_dropout_inactive_in_eval(self):
+        drop = Dropout(0.5)
+        drop.eval()
+        x = x4()
+        assert np.allclose(drop(x).data, x.data)
+
+    def test_dropout_scales_in_train(self):
+        drop = Dropout(0.5)
+        x = Tensor(np.ones((1000,), dtype=np.float32))
+        out = drop(x)
+        kept = out.data[out.data > 0]
+        assert np.allclose(kept, 2.0)
+        assert 0.3 < (out.data > 0).mean() < 0.7
+
+    def test_dropout_validates_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)

@@ -1,0 +1,145 @@
+"""Module system: registration, traversal, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    Sequential,
+)
+from repro.tensor import Tensor
+
+
+class Leaf(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = Parameter(np.ones(3, dtype=np.float32))
+
+    def forward(self, x):
+        return x * self.w
+
+
+class Tree(Module):
+    def __init__(self):
+        super().__init__()
+        self.a = Leaf()
+        self.b = Leaf()
+        self.register_buffer("counter", np.zeros(1, dtype=np.float32))
+
+    def forward(self, x):
+        return self.b(self.a(x))
+
+
+class TestRegistration:
+    def test_parameters_collected_recursively(self):
+        tree = Tree()
+        names = [n for n, _ in tree.named_parameters()]
+        assert names == ["a.w", "b.w"]
+
+    def test_buffers_collected(self):
+        tree = Tree()
+        assert dict(tree.named_buffers())["counter"].shape == (1,)
+
+    def test_reassignment_replaces_not_duplicates(self):
+        tree = Tree()
+        tree.a = Leaf()
+        assert len(tree.parameters()) == 2
+
+    def test_num_parameters(self):
+        assert Tree().num_parameters() == 6
+
+    def test_modules_iteration(self):
+        tree = Tree()
+        kinds = [type(m).__name__ for m in tree.modules()]
+        assert kinds == ["Tree", "Leaf", "Leaf"]
+
+    def test_apply(self):
+        tree = Tree()
+        seen = []
+        tree.apply(lambda m: seen.append(type(m).__name__))
+        assert len(seen) == 3
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        tree = Tree()
+        tree.eval()
+        assert not tree.a.training and not tree.b.training
+        tree.train()
+        assert tree.a.training
+
+    def test_zero_grad(self):
+        leaf = Leaf()
+        out = leaf(Tensor(np.ones(3, dtype=np.float32)))
+        out.backward(np.ones(3, dtype=np.float32))
+        assert leaf.w.grad is not None
+        leaf.zero_grad()
+        assert leaf.w.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Tree(), Tree()
+        for p in a.parameters():
+            p.data += 1.0
+        b.load_state_dict(a.state_dict())
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            assert np.allclose(pa.data, pb.data)
+
+    def test_state_dict_copies(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["a.w"][0] = 99.0
+        assert tree.a.w.data[0] == 1.0
+
+    def test_missing_key_rejected(self):
+        tree = Tree()
+        state = tree.state_dict()
+        del state["a.w"]
+        with pytest.raises(KeyError, match="missing"):
+            tree.load_state_dict(state)
+
+    def test_unexpected_key_rejected(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["zzz"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            tree.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["a.w"] = np.zeros(7, dtype=np.float32)
+        with pytest.raises(ValueError, match="shape"):
+            tree.load_state_dict(state)
+
+    def test_bn_running_stats_in_state(self):
+        bn = BatchNorm2d(4)
+        assert "running_mean" in bn.state_dict()
+
+
+class TestContainers:
+    def test_sequential_forward_order(self):
+        seq = Sequential(Leaf(), Leaf())
+        out = seq(Tensor(np.ones(3, dtype=np.float32)))
+        assert np.allclose(out.data, 1.0)
+        assert len(seq) == 2
+        assert isinstance(seq[0], Leaf)
+
+    def test_sequential_registers_params(self):
+        assert len(Sequential(Leaf(), Leaf()).parameters()) == 2
+
+    def test_module_list(self):
+        ml = ModuleList([Leaf(), Leaf()])
+        ml.append(Leaf())
+        assert len(ml) == 3
+        assert len(ModuleList([Leaf()]).parameters()) == 1
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

@@ -1,0 +1,41 @@
+"""Seeding and stream independence."""
+
+import numpy as np
+
+from repro import rng as rng_mod
+
+
+class TestSeeding:
+    def test_global_stream_deterministic(self):
+        rng_mod.set_seed(42)
+        a = rng_mod.get_rng().random(5)
+        rng_mod.set_seed(42)
+        b = rng_mod.get_rng().random(5)
+        assert np.allclose(a, b)
+
+    def test_spawn_same_key_same_stream(self):
+        rng_mod.set_seed(7)
+        a = rng_mod.spawn_rng("data").random(5)
+        b = rng_mod.spawn_rng("data").random(5)
+        assert np.allclose(a, b)
+
+    def test_spawn_different_keys_differ(self):
+        rng_mod.set_seed(7)
+        a = rng_mod.spawn_rng("data").random(5)
+        b = rng_mod.spawn_rng("weights").random(5)
+        assert not np.allclose(a, b)
+
+    def test_spawn_independent_of_global_consumption(self):
+        rng_mod.set_seed(7)
+        rng_mod.get_rng().random(1000)  # burn the global stream
+        a = rng_mod.spawn_rng("data").random(5)
+        rng_mod.set_seed(7)
+        b = rng_mod.spawn_rng("data").random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seed_changes_spawned(self):
+        rng_mod.set_seed(1)
+        a = rng_mod.spawn_rng("k").random(3)
+        rng_mod.set_seed(2)
+        b = rng_mod.spawn_rng("k").random(3)
+        assert not np.allclose(a, b)

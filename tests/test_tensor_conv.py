@@ -1,0 +1,153 @@
+"""Convolution, pooling and im2col/col2im adjointness tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import (
+    Tensor,
+    avg_pool2d,
+    check_gradients,
+    col2im,
+    conv2d,
+    conv_output_size,
+    global_avg_pool2d,
+    im2col,
+    max_pool2d,
+)
+
+
+def t(arr):
+    return Tensor(np.asarray(arr, dtype=np.float64), requires_grad=True)
+
+
+def reference_conv2d(x, w, stride, padding, groups):
+    """Naive direct convolution for cross-checking."""
+    n, c_in, h, width = x.shape
+    c_out, c_in_g, kh, kw = w.shape
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(width, kw, stride, padding)
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.zeros((n, c_out, oh, ow))
+    cg = c_in // groups
+    og = c_out // groups
+    for b in range(n):
+        for o in range(c_out):
+            g = o // og
+            for i in range(oh):
+                for j in range(ow):
+                    patch = xp[b, g * cg:(g + 1) * cg,
+                               i * stride:i * stride + kh,
+                               j * stride:j * stride + kw]
+                    out[b, o, i, j] = float((patch * w[o]).sum())
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding,groups", [
+        (1, 0, 1), (1, 1, 1), (2, 1, 1), (1, 1, 2), (2, 0, 4),
+    ])
+    def test_matches_reference(self, stride, padding, groups, rng):
+        x = rng.normal(size=(2, 4, 6, 6))
+        w = rng.normal(size=(8, 4 // groups, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w), stride=stride, padding=padding,
+                     groups=groups)
+        ref = reference_conv2d(x, w, stride, padding, groups)
+        assert np.allclose(out.data, ref, atol=1e-10)
+
+    def test_depthwise_matches_reference(self, rng):
+        x = rng.normal(size=(1, 3, 5, 5))
+        w = rng.normal(size=(3, 1, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w), padding=1, groups=3)
+        ref = reference_conv2d(x, w, 1, 1, 3)
+        assert np.allclose(out.data, ref, atol=1e-10)
+
+    def test_gradcheck_with_bias(self, rng):
+        x = t(rng.normal(size=(2, 3, 5, 5)))
+        w = t(rng.normal(size=(4, 3, 3, 3)))
+        b = t(rng.normal(size=(4,)))
+        check_gradients(
+            lambda x, w, b: conv2d(x, w, b, stride=2, padding=1), [x, w, b]
+        )
+
+    def test_gradcheck_grouped(self, rng):
+        x = t(rng.normal(size=(2, 4, 4, 4)))
+        w = t(rng.normal(size=(6, 2, 3, 3)))
+        check_gradients(lambda x, w: conv2d(x, w, padding=1, groups=2), [x, w])
+
+    def test_rejects_wrong_channels(self):
+        x = Tensor(np.zeros((1, 3, 4, 4)))
+        w = Tensor(np.zeros((4, 2, 3, 3)))
+        with pytest.raises(ValueError, match="input channels"):
+            conv2d(x, w)
+
+    def test_rejects_bad_groups(self):
+        x = Tensor(np.zeros((1, 4, 4, 4)))
+        w = Tensor(np.zeros((3, 2, 3, 3)))
+        with pytest.raises(ValueError, match="groups"):
+            conv2d(x, w, groups=2)
+
+    def test_1x1_conv_equals_matmul(self, rng):
+        x = rng.normal(size=(2, 5, 3, 3))
+        w = rng.normal(size=(7, 5, 1, 1))
+        out = conv2d(Tensor(x), Tensor(w))
+        ref = np.einsum("oc,nchw->nohw", w[:, :, 0, 0], x)
+        assert np.allclose(out.data, ref, atol=1e-10)
+
+
+class TestIm2Col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols = im2col(x, (3, 3), stride=2, padding=1)
+        oh = conv_output_size(8, 3, 2, 1)
+        assert cols.shape == (2, 3 * 9, oh * oh)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        h=st.integers(3, 8), kernel=st.integers(1, 3),
+        stride=st.integers(1, 2), padding=st.integers(0, 1),
+    )
+    def test_adjoint_property(self, h, kernel, stride, padding):
+        """<im2col(x), y> == <x, col2im(y)> — exact adjointness, which is
+        what makes conv2d's backward correct for every geometry."""
+        rng = np.random.default_rng(h * 100 + kernel * 10 + stride)
+        x = rng.normal(size=(1, 2, h, h))
+        cols = im2col(x, (kernel, kernel), stride, padding)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        x_back = col2im(y, x.shape, (kernel, kernel), stride, padding)
+        rhs = float((x * x_back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestPooling:
+    def test_avg_pool_value(self):
+        x = Tensor(np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4))
+        out = avg_pool2d(x, 2)
+        assert np.allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_value(self):
+        x = Tensor(np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4))
+        out = max_pool2d(x, 2)
+        assert np.allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_gradcheck(self, rng):
+        x = t(rng.normal(size=(2, 3, 6, 6)))
+        check_gradients(lambda x: avg_pool2d(x, 2), [x])
+        check_gradients(lambda x: avg_pool2d(x, 3, stride=2), [x])
+
+    def test_max_pool_gradcheck(self, rng):
+        x = t(rng.normal(size=(2, 2, 6, 6)))
+        check_gradients(lambda x: max_pool2d(x, 2), [x])
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 3, 5, 5))
+        out = global_avg_pool2d(Tensor(x))
+        assert out.shape == (2, 3, 1, 1)
+        assert np.allclose(out.data[..., 0, 0], x.mean(axis=(2, 3)))
+
+    def test_conv_output_size(self):
+        assert conv_output_size(32, 3, 1, 1) == 32
+        assert conv_output_size(32, 3, 2, 1) == 16
+        assert conv_output_size(55, 11, 4, 0) == 12

@@ -1,0 +1,207 @@
+"""Unit tests for elementwise / reduction / shape ops and their gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, check_gradients
+from repro.tensor import ops
+
+
+def t(arr, grad=True):
+    return Tensor(np.asarray(arr, dtype=np.float64), requires_grad=grad)
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        out = t([1.0, 2.0]) + t([3.0, 4.0])
+        assert np.allclose(out.data, [4.0, 6.0])
+
+    def test_add_broadcast_gradcheck(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        b = t(rng.normal(size=(4,)))
+        check_gradients(lambda a, b: a + b, [a, b])
+
+    def test_sub_broadcast_gradcheck(self, rng):
+        a = t(rng.normal(size=(2, 3)))
+        b = t(rng.normal(size=(1, 3)))
+        check_gradients(lambda a, b: a - b, [a, b])
+
+    def test_mul_gradcheck(self, rng):
+        a = t(rng.normal(size=(3, 2)))
+        b = t(rng.normal(size=(3, 1)))
+        check_gradients(lambda a, b: a * b, [a, b])
+
+    def test_div_gradcheck(self, rng):
+        a = t(rng.normal(size=(4,)))
+        b = t(rng.uniform(0.5, 2.0, size=(4,)))
+        check_gradients(lambda a, b: a / b, [a, b])
+
+    def test_scalar_operand_keeps_dtype(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        assert ((x * 2.0) + 1.0).dtype == np.float32
+        y = Tensor(np.ones(3, dtype=np.float64), requires_grad=True)
+        assert ((y * 2.0) + 1.0).dtype == np.float64
+
+    def test_radd_rmul(self):
+        x = t([1.0, 2.0])
+        assert np.allclose((3.0 + x).data, [4.0, 5.0])
+        assert np.allclose((2.0 * x).data, [2.0, 4.0])
+
+    def test_neg_pow(self, rng):
+        a = t(rng.uniform(0.5, 2.0, size=(5,)))
+        check_gradients(lambda a: -a, [a])
+        check_gradients(lambda a: a ** 3.0, [a])
+
+    def test_maximum_minimum_gradcheck(self, rng):
+        a = t(rng.normal(size=(6,)))
+        b = t(rng.normal(size=(6,)))
+        check_gradients(lambda a, b: ops.maximum(a, b), [a, b])
+        check_gradients(lambda a, b: ops.minimum(a, b), [a, b])
+
+
+class TestUnary:
+    @pytest.mark.parametrize("fn", [ops.exp, ops.log, ops.sqrt, ops.sigmoid,
+                                    ops.tanh])
+    def test_gradcheck(self, fn, rng):
+        a = t(rng.uniform(0.5, 2.0, size=(4, 3)))
+        check_gradients(lambda a: fn(a), [a])
+
+    def test_relu_masks_negatives(self):
+        out = ops.relu(t([-1.0, 0.5]))
+        assert np.allclose(out.data, [0.0, 0.5])
+
+    def test_relu6_clips(self):
+        out = ops.relu6(t([-1.0, 3.0, 9.0]))
+        assert np.allclose(out.data, [0.0, 3.0, 6.0])
+
+    def test_clip_gradient_zero_outside(self):
+        x = t([-2.0, 0.5, 3.0])
+        out = ops.clip(x, 0.0, 1.0)
+        out.backward(np.ones(3))
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_leaky_relu(self, rng):
+        a = t(rng.normal(size=(5,)) + 0.01)
+        check_gradients(lambda a: ops.leaky_relu(a, 0.1), [a])
+
+    def test_abs(self, rng):
+        a = t(rng.normal(size=(5,)) + 0.3)
+        check_gradients(lambda a: ops.abs_(a), [a])
+
+
+class TestShape:
+    def test_reshape_roundtrip_grad(self, rng):
+        a = t(rng.normal(size=(2, 6)))
+        check_gradients(lambda a: ops.reshape(a, (3, 4)), [a])
+
+    def test_flatten(self):
+        a = t(np.zeros((2, 3, 4)))
+        assert ops.flatten(a).shape == (2, 12)
+
+    def test_transpose_gradcheck(self, rng):
+        a = t(rng.normal(size=(2, 3, 4)))
+        check_gradients(lambda a: ops.transpose(a, (2, 0, 1)), [a])
+
+    def test_concat_gradcheck(self, rng):
+        a = t(rng.normal(size=(2, 3)))
+        b = t(rng.normal(size=(4, 3)))
+        check_gradients(lambda a, b: ops.concat([a, b], axis=0), [a, b])
+
+    def test_pad2d(self, rng):
+        a = t(rng.normal(size=(1, 2, 3, 3)))
+        out = ops.pad2d(a, 2)
+        assert out.shape == (1, 2, 7, 7)
+        check_gradients(lambda a: ops.pad2d(a, 1), [a])
+
+    def test_getitem_gradcheck(self, rng):
+        a = t(rng.normal(size=(5, 4)))
+        check_gradients(lambda a: a[1:3], [a])
+
+    def test_where(self, rng):
+        cond = np.array([True, False, True])
+        a, b = t(rng.normal(size=3)), t(rng.normal(size=3))
+        out = ops.where(cond, a, b)
+        assert np.allclose(out.data, np.where(cond, a.data, b.data))
+        check_gradients(lambda a, b: ops.where(cond, a, b), [a, b])
+
+
+class TestReductions:
+    @pytest.mark.parametrize("axis,keepdims", [(None, False), (0, False),
+                                               (1, True), ((0, 1), False)])
+    def test_sum_gradcheck(self, axis, keepdims, rng):
+        a = t(rng.normal(size=(3, 4)))
+        check_gradients(lambda a: ops.sum_(a, axis=axis, keepdims=keepdims), [a])
+
+    @pytest.mark.parametrize("axis", [None, 0, 1])
+    def test_mean_gradcheck(self, axis, rng):
+        a = t(rng.normal(size=(3, 5)))
+        check_gradients(lambda a: ops.mean(a, axis=axis), [a])
+
+    def test_max_min_gradcheck(self, rng):
+        a = t(rng.normal(size=(4, 3)))
+        check_gradients(lambda a: ops.max_(a, axis=1), [a])
+        check_gradients(lambda a: ops.min_(a, axis=0), [a])
+
+    def test_max_ties_split_gradient(self):
+        a = t([2.0, 2.0, 1.0])
+        out = ops.max_(a)
+        out.backward()
+        assert np.allclose(a.grad, [0.5, 0.5, 0.0])
+
+    def test_mean_value(self):
+        assert ops.mean(t([[1.0, 3.0]])).item() == pytest.approx(2.0)
+
+
+class TestSoftmax:
+    def test_softmax_sums_to_one(self, rng):
+        out = ops.softmax(t(rng.normal(size=(5, 7))))
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_softmax_gradcheck(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        target = Tensor(rng.normal(size=(3, 4)))
+        check_gradients(
+            lambda a: ops.sum_(ops.softmax(a) * target), [a]
+        )
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        a = t(rng.normal(size=(2, 5)))
+        assert np.allclose(
+            ops.log_softmax(a).data, np.log(ops.softmax(a).data), atol=1e-8
+        )
+
+    def test_log_softmax_gradcheck(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        target = Tensor(rng.normal(size=(3, 4)))
+        check_gradients(lambda a: ops.sum_(ops.log_softmax(a) * target), [a])
+
+    def test_softmax_stable_for_large_logits(self):
+        out = ops.softmax(t([[1000.0, 1000.0]]))
+        assert np.allclose(out.data, [[0.5, 0.5]])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+)
+def test_property_sum_gradient_is_ones(shape):
+    """d(sum(x))/dx == 1 everywhere, any shape."""
+    x = Tensor(np.random.default_rng(0).normal(size=shape), requires_grad=True)
+    ops.sum_(x).backward()
+    assert np.allclose(x.grad, np.ones(shape))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(1, 5), cols=st.integers(1, 5),
+    scale=st.floats(0.1, 10.0),
+)
+def test_property_softmax_invariant_to_shift(rows, cols, scale):
+    """softmax(x + c) == softmax(x) for any constant shift c."""
+    rng = np.random.default_rng(rows * 10 + cols)
+    x = rng.normal(size=(rows, cols)) * scale
+    a = ops.softmax(Tensor(x))
+    b = ops.softmax(Tensor(x + 123.45))
+    assert np.allclose(a.data, b.data, atol=1e-6)

@@ -1,0 +1,100 @@
+"""Switchable trainers and the method recipes of the tables."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.baselines import (
+    train_adabits,
+    train_cdt,
+    train_sbm_independent,
+    train_sp,
+)
+from repro.core import (
+    CascadeDistillation,
+    SwitchableTrainer,
+    TrainConfig,
+    evaluate_all_bits,
+    evaluate_bitwidth,
+    train_fixed_precision,
+)
+from repro.data import cifar10_like
+from repro.nn import models
+from repro.quant import SwitchableFactory, SwitchablePrecisionNetwork
+
+BITS = [4, 32]
+
+
+def tiny_builder(factory):
+    return models.mobilenet_v2(num_classes=10, setting="tiny",
+                               factory=factory, width_mult=0.25)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng_mod.set_seed(0)
+    return cifar10_like(num_train=160, num_test=64, image_size=12,
+                        difficulty=1.5)
+
+
+class TestTrainer:
+    def test_fit_records_history_and_reduces_loss(self, data):
+        train, _ = data
+        sp = SwitchablePrecisionNetwork(
+            tiny_builder(SwitchableFactory(BITS)), BITS)
+        trainer = SwitchableTrainer(
+            sp, CascadeDistillation(beta=1.0),
+            TrainConfig(epochs=3, batch_size=32),
+        )
+        history = trainer.fit(train)
+        assert len(history.epoch_losses) == 3
+        assert history.epoch_losses[-1] < history.epoch_losses[0]
+        assert history.wall_seconds > 0
+
+    def test_evaluate_all_bits_keys(self, data):
+        train, test = data
+        sp = SwitchablePrecisionNetwork(
+            tiny_builder(SwitchableFactory(BITS)), BITS)
+        accs = evaluate_all_bits(sp, test)
+        assert set(accs) == set(BITS)
+        assert all(0.0 <= a <= 1.0 for a in accs.values())
+
+    def test_training_beats_chance(self, data):
+        train, test = data
+        rng_mod.set_seed(0)
+        sp = SwitchablePrecisionNetwork(
+            tiny_builder(SwitchableFactory(BITS)), BITS)
+        SwitchableTrainer(
+            sp, CascadeDistillation(beta=1.0),
+            TrainConfig(epochs=4, batch_size=32),
+        ).fit(train)
+        accs = evaluate_all_bits(sp, test)
+        assert accs[32] > 0.15  # chance is 0.10 for 10 classes
+
+    def test_fixed_precision_guard(self, data):
+        train, _ = data
+        sp = SwitchablePrecisionNetwork(
+            tiny_builder(SwitchableFactory(BITS)), BITS)
+        with pytest.raises(ValueError, match="single-candidate"):
+            train_fixed_precision(sp, train)
+
+
+class TestRecipes:
+    @pytest.mark.parametrize("recipe", [train_cdt, train_sp, train_adabits])
+    def test_switchable_recipes(self, recipe, data):
+        train, test = data
+        rng_mod.set_seed(0)
+        cfg = TrainConfig(epochs=1, batch_size=32)
+        result = recipe(tiny_builder, BITS, train, test, cfg)
+        assert set(result.accuracies) == set(BITS)
+        assert result.method in ("cdt", "sp", "adabits")
+        assert "TrainedSPNet" in repr(result)
+
+    def test_sbm_trains_one_network_per_bit(self, data):
+        train, test = data
+        rng_mod.set_seed(0)
+        cfg = TrainConfig(epochs=1, batch_size=32)
+        result = train_sbm_independent(tiny_builder, BITS, train, test, cfg)
+        assert set(result.accuracies) == set(BITS)
+        assert result.method == "sbm"
+        assert result.accuracy_at(32) >= 0.0
