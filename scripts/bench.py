@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Run the tracked perf suite and gate on the committed baseline.
+
+Equivalent to ``python -m repro bench``; kept as a standalone script so
+CI and git hooks can invoke it without installing the package::
+
+    PYTHONPATH=src python scripts/bench.py            # smoke scale + gate
+    PYTHONPATH=src python scripts/bench.py --update-baseline
+
+Exits non-zero when any tracked op is more than 2x slower than
+``benchmarks/perf/baseline.json``.  Paths default to the repository
+root, so the script works from any working directory.
+"""
+
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.bench import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if not any(arg.startswith("--output") for arg in argv):
+        argv += ["--output", os.path.join(_REPO_ROOT, "BENCH_perf.json")]
+    if not any(arg.startswith("--baseline") for arg in argv):
+        argv += [
+            "--baseline",
+            os.path.join(_REPO_ROOT, "benchmarks", "perf", "baseline.json"),
+        ]
+    raise SystemExit(main(argv))

@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro run table1 --scale smoke --seed 0
     python -m repro run all --scale default
+    python -m repro bench --scale smoke
 """
 
 from __future__ import annotations
@@ -25,10 +26,20 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", default="smoke",
                      choices=("smoke", "default", "full"))
     run.add_argument("--seed", type=int, default=0)
+    sub.add_parser(
+        "bench",
+        help="run the tracked perf suite (see `repro bench --help`)",
+        add_help=False,
+    )
     return parser
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        from .bench import main as bench_main
+
+        return bench_main(argv[1:])
     args = _build_parser().parse_args(argv)
     from .experiments import ALL_EXPERIMENTS
     from . import rng

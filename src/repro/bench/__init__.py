@@ -1,0 +1,23 @@
+"""Tracked wall-clock performance benchmarks (``BENCH_perf.json``).
+
+See :mod:`repro.bench.perf` for the op registry and
+``scripts/bench.py`` / ``python -m repro bench`` for the entry points.
+"""
+
+from .perf import (
+    PRE_PR_BASELINE_S,
+    check_regressions,
+    load_baseline,
+    main,
+    run_suite,
+    write_results,
+)
+
+__all__ = [
+    "PRE_PR_BASELINE_S",
+    "check_regressions",
+    "load_baseline",
+    "main",
+    "run_suite",
+    "write_results",
+]

@@ -1,0 +1,366 @@
+"""Perf micro-benchmark suite: the repo's wall-clock trajectory.
+
+Every tracked op is timed twice where a reference implementation exists:
+
+* **fast** — the shipping configuration (conv matmul fast paths on,
+  quantised-weight cache on, AutoMapper memoization + warm starts on),
+* **reference** — the same op with those optimisations disabled, i.e.
+  the pre-optimisation execution path, timed live on the same machine so
+  the reported ``speedup`` is machine-independent.
+
+Results are written to ``BENCH_perf.json``: per-op median wall-clock,
+reference wall-clock, live speedup, and — where the op existed before
+the fast-execution-engine PR — the pre-PR median measured on the
+reference dev container (``PRE_PR_BASELINE_S``), anchoring the
+trajectory future PRs extend.
+
+``scripts/bench.py`` (or ``python -m repro bench``) runs the suite at
+smoke scale and fails if any tracked op regressed more than
+``REGRESSION_FACTOR``x against the committed
+``benchmarks/perf/baseline.json``.
+
+Scale selection follows the experiment harness: the
+``REPRO_BENCH_SCALE`` environment variable (``smoke`` | ``default``)
+overrides the CLI/default choice.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .. import rng as rng_mod
+
+__all__ = [
+    "PRE_PR_BASELINE_S",
+    "REGRESSION_FACTOR",
+    "run_suite",
+    "write_results",
+    "load_baseline",
+    "check_regressions",
+    "main",
+]
+
+SCHEMA_VERSION = 1
+
+# An op regressing beyond this factor vs the committed baseline fails
+# the bench gate.  Generous on purpose: machine noise (CI container vs
+# dev laptop) must not trip it, a lost fast path will.
+REGRESSION_FACTOR = 2.0
+
+# Median wall-clock (seconds) of the tracked ops measured at smoke scale
+# on the reference dev container immediately BEFORE the fast-execution
+# engine PR (quantised-weight caching, conv matmul fast paths, cost-model
+# memoization).  Medians over 4 interleaved pre/post A/B rounds in fresh
+# subprocesses, same op definitions and ordering as this suite.  These
+# anchor the speedup trajectory; only comparable to smoke-scale runs.
+PRE_PR_BASELINE_S: Dict[str, float] = {
+    "conv_1x1_pointwise": 0.002229,
+    "conv_3x3_dense": 0.014658,
+    "conv_3x3_depthwise": 0.016722,
+    "cdt_training_step": 1.198459,
+    "spnet_eval_forward": 0.09679,
+    "automapper_alexnet_search": 0.264985,
+}
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Repeat counts and model sizes for one bench scale."""
+
+    name: str
+    conv_repeats: int
+    step_repeats: int
+    mapper_repeats: int
+    width_mult: float
+    batch_size: int
+    mapper_generations: int
+
+
+BENCH_SCALES = {
+    "smoke": BenchScale(
+        name="smoke", conv_repeats=5, step_repeats=3, mapper_repeats=3,
+        width_mult=0.5, batch_size=16, mapper_generations=6,
+    ),
+    "default": BenchScale(
+        name="default", conv_repeats=9, step_repeats=5, mapper_repeats=3,
+        width_mult=1.0, batch_size=32, mapper_generations=12,
+    ),
+}
+
+
+def _median_seconds(fn: Callable[[], None], repeats: int, warmup: int = 1) -> float:
+    gc.collect()  # stable GC state: earlier ops' garbage must not bill here
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+# ----------------------------------------------------------------------
+# Tracked ops
+# ----------------------------------------------------------------------
+def _bench_conv_kernels(scale: BenchScale) -> Dict[str, Dict[str, float]]:
+    """Conv micro-kernels: forward + backward, fast vs reference path."""
+    from ..tensor import Tensor, conv2d, fast_conv
+
+    rng_mod.set_seed(2021)
+    rng = rng_mod.get_rng()
+    n = scale.batch_size // 2
+    cases = {
+        # MobileNetV2's dominant layer type: pointwise expansion conv.
+        "conv_1x1_pointwise": (
+            (n, 96, 16, 16), (24, 96, 1, 1), dict(stride=1, padding=0, groups=1),
+        ),
+        "conv_3x3_dense": (
+            (n, 32, 16, 16), (64, 32, 3, 3), dict(stride=1, padding=1, groups=1),
+        ),
+        "conv_3x3_depthwise": (
+            (n, 96, 16, 16), (96, 1, 3, 3), dict(stride=1, padding=1, groups=96),
+        ),
+    }
+    ops: Dict[str, Dict[str, float]] = {}
+    for name, (x_shape, w_shape, kwargs) in cases.items():
+        x = Tensor(rng.normal(size=x_shape).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.normal(size=w_shape).astype(np.float32), requires_grad=True)
+
+        def run():
+            out = conv2d(x, w, **kwargs)
+            out.backward(np.ones_like(out.data))
+
+        def run_reference():
+            with fast_conv(False):
+                run()
+
+        fast_s = _median_seconds(run, scale.conv_repeats)
+        ref_s = _median_seconds(run_reference, scale.conv_repeats)
+        ops[name] = {"median_s": fast_s, "reference_s": ref_s}
+    return ops
+
+
+def _make_cdt_fixture(scale: BenchScale):
+    from ..core.cdt import CascadeDistillation
+    from ..nn.models import mobilenet_v2
+    from ..optim import SGD
+    from ..quant import SwitchableFactory, SwitchablePrecisionNetwork
+    from ..tensor import Tensor
+
+    rng_mod.set_seed(2021)
+    rng = rng_mod.get_rng()
+    bits = [4, 8, 12, 16]
+    model = mobilenet_v2(
+        num_classes=5, factory=SwitchableFactory(bits),
+        width_mult=scale.width_mult, setting="cifar",
+    )
+    sp_net = SwitchablePrecisionNetwork(model, bits)
+    optimizer = SGD(sp_net.parameters(), lr=0.05)
+    strategy = CascadeDistillation(beta=1.0)
+    images = Tensor(
+        rng.normal(size=(scale.batch_size, 3, 16, 16)).astype(np.float32)
+    )
+    labels = rng.integers(0, 5, size=scale.batch_size)
+    return sp_net, optimizer, strategy, images, labels
+
+
+def _bench_cdt_step(scale: BenchScale) -> Dict[str, Dict[str, float]]:
+    """One CDT training step (MobileNetV2-scale synthetic, 4 bit-widths)."""
+    from ..quant import weight_cache
+    from ..tensor import fast_conv
+
+    sp_net, optimizer, strategy, images, labels = _make_cdt_fixture(scale)
+
+    def step():
+        optimizer.zero_grad()
+        loss, _ = strategy.compute_loss(sp_net, images, labels)
+        loss.backward()
+        optimizer.step()
+
+    def step_reference():
+        with fast_conv(False), weight_cache(False):
+            step()
+
+    fast_s = _median_seconds(step, scale.step_repeats)
+    ref_s = _median_seconds(step_reference, scale.step_repeats)
+    ops = {"cdt_training_step": {"median_s": fast_s, "reference_s": ref_s}}
+
+    # Eval forward: weight quantisation is 100% cacheable once training
+    # stops, so this isolates the cache win from the conv fast paths.
+    from ..tensor import no_grad
+
+    sp_net.eval()
+
+    def eval_forward():
+        with no_grad():
+            sp_net(images)
+
+    def eval_forward_reference():
+        with fast_conv(False), weight_cache(False):
+            eval_forward()
+
+    fast_s = _median_seconds(eval_forward, scale.step_repeats + 2)
+    ref_s = _median_seconds(eval_forward_reference, scale.step_repeats + 2)
+    ops["spnet_eval_forward"] = {"median_s": fast_s, "reference_s": ref_s}
+    return ops
+
+
+def _bench_automapper(scale: BenchScale) -> Dict[str, Dict[str, float]]:
+    """Fig. 5-style AutoMapper network search (AlexNet on the ASIC)."""
+    from ..core.automapper import AutoMapper, AutoMapperConfig
+    from ..hardware import eyeriss_like_asic, network_by_name
+
+    workloads = network_by_name("alexnet")
+    device = eyeriss_like_asic()
+
+    def search(memoize: bool):
+        mapper = AutoMapper(
+            device,
+            AutoMapperConfig(
+                generations=scale.mapper_generations, seed_key="bench-prepr",
+                memoize=memoize,
+            ),
+        )
+        mapper.search_network(workloads, pipeline=False)
+
+    fast_s = _median_seconds(lambda: search(True), scale.mapper_repeats)
+    ref_s = _median_seconds(lambda: search(False), scale.mapper_repeats)
+    return {"automapper_alexnet_search": {"median_s": fast_s, "reference_s": ref_s}}
+
+
+# ----------------------------------------------------------------------
+# Suite driver
+# ----------------------------------------------------------------------
+def run_suite(scale: str = "smoke") -> Dict:
+    """Run every tracked op; returns the ``BENCH_perf.json`` payload."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", scale)
+    if scale not in BENCH_SCALES:
+        raise ValueError(
+            f"unknown bench scale {scale!r}; available: {sorted(BENCH_SCALES)}"
+        )
+    cfg = BENCH_SCALES[scale]
+    ops: Dict[str, Dict[str, float]] = {}
+    # Order matters for isolation: the AutoMapper search (pure-Python
+    # object churn, GC-sensitive) runs before the CDT fixture builds its
+    # large live heap.
+    ops.update(_bench_conv_kernels(cfg))
+    ops.update(_bench_automapper(cfg))
+    ops.update(_bench_cdt_step(cfg))
+    gc.collect()
+    for name, entry in ops.items():
+        if entry.get("reference_s"):
+            entry["speedup"] = round(entry["reference_s"] / entry["median_s"], 3)
+        if cfg.name == "smoke" and name in PRE_PR_BASELINE_S:
+            entry["pre_pr_s"] = PRE_PR_BASELINE_S[name]
+            entry["speedup_vs_pre_pr"] = round(
+                PRE_PR_BASELINE_S[name] / entry["median_s"], 3
+            )
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "perf",
+        "scale": cfg.name,
+        "unix_time": time.time(),
+        "ops": ops,
+    }
+
+
+def write_results(results: Dict, path: str = "BENCH_perf.json") -> str:
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_baseline(path: str) -> Optional[Dict]:
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def check_regressions(
+    results: Dict, baseline: Dict, factor: float = REGRESSION_FACTOR
+) -> List[str]:
+    """Tracked ops slower than ``factor`` x the committed baseline."""
+    failures = []
+    for name, entry in baseline.get("ops", {}).items():
+        current = results["ops"].get(name)
+        if current is None:
+            failures.append(f"{name}: tracked op missing from current run")
+            continue
+        if current["median_s"] > factor * entry["median_s"]:
+            failures.append(
+                f"{name}: {current['median_s']:.6f}s vs baseline "
+                f"{entry['median_s']:.6f}s (> {factor:.1f}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="run the tracked perf suite and write BENCH_perf.json",
+    )
+    parser.add_argument("--scale", default="smoke", choices=sorted(BENCH_SCALES))
+    parser.add_argument("--output", default="BENCH_perf.json")
+    parser.add_argument(
+        "--baseline", default=os.path.join("benchmarks", "perf", "baseline.json"),
+        help="committed baseline to gate regressions against",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from this run instead of gating",
+    )
+    parser.add_argument(
+        "--factor", type=float, default=REGRESSION_FACTOR,
+        help="fail when any op is this many times slower than baseline",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_suite(args.scale)
+    write_results(results, args.output)
+    print(f"wrote {args.output}")
+    for name, entry in sorted(results["ops"].items()):
+        line = f"  {name}: {entry['median_s'] * 1e3:.3f} ms"
+        if "speedup" in entry:
+            line += f" ({entry['speedup']:.2f}x vs reference path)"
+        if "speedup_vs_pre_pr" in entry:
+            line += f" ({entry['speedup_vs_pre_pr']:.2f}x vs pre-PR)"
+        print(line)
+
+    if args.update_baseline:
+        write_results(results, args.baseline)
+        print(f"updated baseline {args.baseline}")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    if baseline is None:
+        print(f"no baseline at {args.baseline}; skipping regression gate")
+        return 0
+    if baseline.get("scale") != results["scale"]:
+        print(
+            f"baseline scale {baseline.get('scale')!r} != run scale "
+            f"{results['scale']!r}; skipping regression gate"
+        )
+        return 0
+    failures = check_regressions(results, baseline, args.factor)
+    if failures:
+        print("PERF REGRESSION:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"regression gate ok (<= {args.factor:.1f}x committed baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

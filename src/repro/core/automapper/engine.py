@@ -65,6 +65,17 @@ class AutoMapperConfig:
     metric: str = "edp"
     goal: Optional[float] = None
     seed_key: str = "automapper"
+    # Memoize evaluate_layer / make_valid on (workload, dataflow):
+    # evolution re-breeds previously-seen candidates constantly (repair
+    # collapses many perturbations onto the same valid flow), and pricing
+    # them again is pure waste.  Disable for A/B benchmarking only.
+    memoize: bool = True
+    # Opt-in: seed the pool with the best mapping found for the same
+    # layer shape at another bit-width (SP-Net sweeps price each layer
+    # at N precisions; good schedules transfer).  Off by default because
+    # it makes results depend on previously-searched layers — the
+    # default search stays bit-identical to the non-warm evolution.
+    warm_start: bool = False
 
     def __post_init__(self):
         if self.metric not in ("edp", "energy", "latency"):
@@ -118,7 +129,78 @@ class AutoMapper:
         self.config = config or AutoMapperConfig()
         self._rng = rng_mod.spawn_rng(self.config.seed_key)
         self._layer_cache: Dict[tuple, Tuple[Dataflow, LayerCost, int]] = {}
+        # Cost-model memo tables keyed (workload, dataflow, fractions).
+        self._eval_cache: Dict[tuple, LayerCost] = {}
+        self._valid_cache: Dict[tuple, Dataflow] = {}
+        # Best flow per layer *shape* (bits excluded) for warm starts.
+        self._shape_best: Dict[tuple, Dataflow] = {}
         self.evaluations = 0
+        self.cost_cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # Memoized cost-model access
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self,
+        workload: ConvWorkload,
+        flow: Dataflow,
+        pe_fraction: float,
+        buffer_fraction: float,
+        wkey: Optional[tuple] = None,
+    ) -> LayerCost:
+        """evaluate_layer with (workload, dataflow) memoization.
+
+        ``wkey`` passes the precomputed workload key (one per
+        ``search_layer``) so the hot loop only hashes the dataflow.
+        """
+        if not self.config.memoize:
+            return evaluate_layer(
+                workload, flow, self.device, pe_fraction, buffer_fraction
+            )
+        if wkey is None:
+            wkey = self._cache_key(workload, pe_fraction, buffer_fraction)
+        key = (wkey, flow.cache_key())
+        cost = self._eval_cache.get(key)
+        if cost is None:
+            cost = evaluate_layer(
+                workload, flow, self.device, pe_fraction, buffer_fraction
+            )
+            self._eval_cache[key] = cost
+        else:
+            self.cost_cache_hits += 1
+        return cost
+
+    def _make_valid(
+        self,
+        workload: ConvWorkload,
+        flow: Dataflow,
+        pe_fraction: float,
+        buffer_fraction: float,
+        wkey: Optional[tuple] = None,
+    ) -> Dataflow:
+        """make_valid with (workload, dataflow) memoization.
+
+        Repair is deterministic, so identical inputs always collapse to
+        the same valid flow; Dataflow is frozen, so the cached instance
+        is shared safely (and carries its own memoized cache key and
+        resident-words table, making the paired ``_evaluate`` cheaper).
+        """
+        if not self.config.memoize:
+            return make_valid(
+                workload, flow, self.device, buffer_fraction, pe_fraction
+            )
+        if wkey is None:
+            wkey = self._cache_key(workload, pe_fraction, buffer_fraction)
+        key = (wkey, flow.cache_key())
+        valid = self._valid_cache.get(key)
+        if valid is None:
+            valid = make_valid(
+                workload, flow, self.device, buffer_fraction, pe_fraction
+            )
+            self._valid_cache[key] = valid
+        else:
+            self.cost_cache_hits += 1
+        return valid
 
     # ------------------------------------------------------------------
     # Layer-level search (Alg. 1)
@@ -141,12 +223,12 @@ class AutoMapper:
 
         def sample_random() -> Tuple[Dataflow, float, LayerCost]:
             nonlocal evaluations
-            flow = make_valid(
+            flow = self._make_valid(
                 workload, random_dataflow(workload, self.device, rng),
-                self.device, buffer_fraction, pe_fraction,
+                pe_fraction, buffer_fraction, wkey=key,
             )
-            cost = evaluate_layer(
-                workload, flow, self.device, pe_fraction, buffer_fraction
+            cost = self._evaluate(
+                workload, flow, pe_fraction, buffer_fraction, wkey=key
             )
             evaluations += 1
             return flow, _metric_of(cost, cfg.metric), cost
@@ -155,6 +237,26 @@ class AutoMapper:
         pool: List[Tuple[Dataflow, float, LayerCost]] = [
             sample_random() for _ in range(cfg.pool_size)
         ]
+
+        # Warm start: the same layer shape searched at another bit-width
+        # already found a good schedule — price it at *this* precision
+        # and let it displace the worst random sample.  This is how
+        # SP-Net sweeps (one workload per candidate bit-width) amortise
+        # their searches instead of restarting from random each time.
+        shape_key = self._shape_key(workload, pe_fraction, buffer_fraction)
+        warm = self._shape_best.get(shape_key) if cfg.warm_start else None
+        if warm is not None:
+            flow = self._make_valid(
+                workload, warm, pe_fraction, buffer_fraction, wkey=key
+            )
+            cost = self._evaluate(
+                workload, flow, pe_fraction, buffer_fraction, wkey=key
+            )
+            evaluations += 1
+            entry = (flow, _metric_of(cost, cfg.metric), cost)
+            worst = max(range(len(pool)), key=lambda i: pool[i][1])
+            if entry[1] < pool[worst][1]:
+                pool[worst] = entry
 
         for _ in range(cfg.generations):
             best = min(pool, key=lambda entry: entry[1])
@@ -172,13 +274,11 @@ class AutoMapper:
                         parent, workload, self.device,
                         k=cfg.perturb_features, rng=rng,
                     )
-                    child = make_valid(
-                        workload, child, self.device, buffer_fraction,
-                        pe_fraction,
+                    child = self._make_valid(
+                        workload, child, pe_fraction, buffer_fraction, wkey=key
                     )
-                    cost = evaluate_layer(
-                        workload, child, self.device, pe_fraction,
-                        buffer_fraction,
+                    cost = self._evaluate(
+                        workload, child, pe_fraction, buffer_fraction, wkey=key
                     )
                     evaluations += 1
                     pool.append((child, _metric_of(cost, cfg.metric), cost))
@@ -190,6 +290,7 @@ class AutoMapper:
         flow, _, cost = min(pool, key=lambda entry: entry[1])
         self.evaluations += evaluations
         self._layer_cache[key] = (flow, cost, evaluations)
+        self._shape_best[shape_key] = flow
         return flow, cost
 
     # ------------------------------------------------------------------
@@ -246,6 +347,14 @@ class AutoMapper:
             workload.n, workload.k, workload.c, workload.y, workload.x,
             workload.r, workload.s, workload.stride, workload.groups,
             workload.bits, round(pe_fraction, 6), round(buffer_fraction, 6),
+        )
+
+    def _shape_key(self, workload: ConvWorkload, pe_fraction, buffer_fraction):
+        """Like :meth:`_cache_key` but precision-blind, for warm starts."""
+        return (
+            workload.n, workload.k, workload.c, workload.y, workload.x,
+            workload.r, workload.s, workload.stride, workload.groups,
+            round(pe_fraction, 6), round(buffer_fraction, 6),
         )
 
 

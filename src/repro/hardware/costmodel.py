@@ -29,6 +29,7 @@ Cost accounting:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -99,44 +100,72 @@ class NetworkCost:
         return 1.0 / self.latency_s
 
 
-def _resident_words(
-    workload: ConvWorkload,
-    dataflow: Dataflow,
-    level_index: int,
-) -> Dict[str, float]:
-    """Words of each tensor resident at ``level_index`` (per group).
+def _all_resident_words(
+    workload: ConvWorkload, dataflow: Dataflow
+) -> List[Dict[str, float]]:
+    """Words of each tensor resident at every level, in one pass.
 
     A level's resident tile is swept by that level's own loops over
     next-inner tiles, so it covers the product of the loop factors at
     this level and every inner one, plus the spatial unrolling (whose
     union lives at every level above the per-PE register files).
+
+    The cost model needs the resident set of *each* level (capacity
+    checks walk levels 1..L, traffic needs every boundary); computing
+    the cumulative loop coverage as per-dimension suffix products makes
+    that one sweep instead of a quadratic re-walk — this function is the
+    AutoMapper's hottest code.  Results are memoized on the (frozen)
+    dataflow instance: ``make_valid``'s final capacity check and the
+    subsequent ``evaluate_layer`` ask for the same flow back to back.
     """
-    num_levels = len(dataflow.levels)
-    cum: Dict[str, int] = {}
-    for d in DIMS:
-        total = 1
-        for li in range(level_index, num_levels):
-            total *= dataflow.levels[li].factor(d)
-        if level_index < num_levels - 1:
-            total *= dataflow.spatial_factor(d)
-        cum[d] = min(total, workload.dims[d])
-    return _tile_words(workload, cum)
-
-
-def _tile_words(workload: ConvWorkload, cum: Dict[str, int]) -> Dict[str, float]:
-    # Input halo: the union of taps touched by the tile's own loop
-    # coverage — (Y_cov - 1) * stride + R_cov — NOT the layer's full
-    # kernel extent; a tile iterating one tap at a time only needs that
-    # tap resident.
-    ih = (cum["Y"] - 1) * workload.stride + cum["R"]
-    iw = (cum["X"] - 1) * workload.stride + cum["S"]
+    try:
+        memo = dataflow._resident_memo
+    except AttributeError:
+        memo = {}
+        object.__setattr__(dataflow, "_resident_memo", memo)
+    cached = memo.get(workload)
+    if cached is not None:
+        return cached
+    levels = dataflow.levels
+    num_levels = len(levels)
+    spatial = dataflow.spatial
+    inner = num_levels - 1
+    # Per-dim cumulative coverage columns (outer..inner), bounds-capped.
+    cols: Dict[str, List[int]] = {}
+    for d, bound in workload.dims.items():
+        sf = spatial.get(d, 1)
+        suffix = 1
+        col = [0] * num_levels
+        for li in range(inner, -1, -1):
+            suffix *= levels[li].tiles.get(d, 1)
+            total = suffix * sf if li < inner else suffix
+            col[li] = total if total < bound else bound
+        cols[d] = col
+    # Tile words per level.  Input halo: the union of taps touched by
+    # the tile's own loop coverage — (Y_cov - 1) * stride + R_cov — NOT
+    # the layer's full kernel extent; a tile iterating one tap at a
+    # time only needs that tap resident.
+    stride = workload.stride
     real_ih, real_iw = workload.input_tile_hw(workload.y, workload.x)
-    ih, iw = min(ih, real_ih), min(iw, real_iw)
-    return {
-        "I": float(cum["N"] * cum["C"] * ih * iw),
-        "W": float(cum["K"] * cum["C"] * cum["R"] * cum["S"]),
-        "O": float(cum["N"] * cum["K"] * cum["Y"] * cum["X"]),
-    }
+    c_n, c_k, c_c = cols["N"], cols["K"], cols["C"]
+    c_y, c_x, c_r, c_s = cols["Y"], cols["X"], cols["R"], cols["S"]
+    result = []
+    for li in range(num_levels):
+        nn, kk, cc = c_n[li], c_k[li], c_c[li]
+        yy, xx, rr, ss = c_y[li], c_x[li], c_r[li], c_s[li]
+        ih = (yy - 1) * stride + rr
+        iw = (xx - 1) * stride + ss
+        if ih > real_ih:
+            ih = real_ih
+        if iw > real_iw:
+            iw = real_iw
+        result.append({
+            "I": float(nn * cc * ih * iw),
+            "W": float(kk * cc * rr * ss),
+            "O": float(nn * kk * yy * xx),
+        })
+    memo[workload] = result
+    return result
 
 
 def _level_iterations(
@@ -150,55 +179,65 @@ def _level_iterations(
     tiles to be streamed again each iteration.  A level with no relevant
     loops reuses the tile completely (both products 1).
     """
+    tiles = level.tiles  # local alias: this loop is the model's hot spot
     relevant = 1.0
     for d in tensor_dims:
-        relevant *= level.factor(d)
+        relevant *= tiles.get(d, 1)
     if relevant == 1.0:
         return 1.0, 1.0
     # Find the innermost relevant loop with an actual factor.
     innermost_relevant = None
     for pos, d in enumerate(level.order):
-        if d in tensor_dims and level.factor(d) > 1:
+        if d in tensor_dims and tiles.get(d, 1) > 1:
             innermost_relevant = pos
     refetch = relevant
     if innermost_relevant is not None:
         for pos, d in enumerate(level.order):
             if pos < innermost_relevant and d not in tensor_dims:
-                refetch *= level.factor(d)
+                refetch *= tiles.get(d, 1)
     return relevant, refetch
 
 
-def _tensor_traffic(
+def _traffic_all_boundaries(
     workload: ConvWorkload,
     dataflow: Dataflow,
-    boundary: int,
-) -> Dict[str, float]:
-    """Words crossing from level ``boundary`` into ``boundary + 1``.
+    resident_all: Sequence[Dict[str, float]],
+) -> List[Dict[str, float]]:
+    """Words crossing each level boundary, all boundaries in one sweep.
 
     Read-only tensors (I, W) cross ``tile * B`` words, where ``B``
     multiplies each outer level's refetch iterations.  The accumulating
     output crosses ``tile * (2B - A)``: each distinct tile is written
-    once (``A`` = relevant-only product) and every additional crossing is
-    a read-modify-write pair.
+    once (``A`` = relevant-only product) and every additional crossing
+    is a read-modify-write pair.  Spatial distribution needs no extra
+    term: per-PE-distinct data is already inside the resident tile, and
+    loops irrelevant to a tensor broadcast it across PEs for free (NoC
+    multicast).
+
+    The per-boundary iteration products are prefixes over the outer
+    levels, so walking boundaries outermost-in accumulates them once
+    instead of re-multiplying levels ``0..B`` at every boundary ``B``.
     """
-    tiles = _resident_words(workload, dataflow, boundary + 1)
-    traffic: Dict[str, float] = {}
-    for tensor, tensor_dims in TENSOR_DIMS.items():
-        relevant_total = 1.0
-        refetch_total = 1.0
-        for li in range(boundary + 1):
-            rel, ref = _level_iterations(dataflow.levels[li], tensor_dims)
-            relevant_total *= rel
-            refetch_total *= ref
-        if tensor == "O":
-            crossings = 2.0 * refetch_total - relevant_total
-        else:
-            crossings = refetch_total
-        # Spatial distribution needs no extra term: per-PE-distinct data
-        # is already inside the resident tile, and loops irrelevant to a
-        # tensor broadcast it across PEs for free (NoC multicast).
-        traffic[tensor] = tiles[tensor] * crossings * workload.groups
-    return traffic
+    num_levels = len(dataflow.levels)
+    groups = workload.groups
+    relevant_total = dict.fromkeys(TENSOR_DIMS, 1.0)
+    refetch_total = dict.fromkeys(TENSOR_DIMS, 1.0)
+    per_boundary: List[Dict[str, float]] = []
+    for boundary in range(num_levels - 1):
+        level = dataflow.levels[boundary]
+        tiles = resident_all[boundary + 1]
+        traffic: Dict[str, float] = {}
+        for tensor, tensor_dims in TENSOR_DIMS.items():
+            rel, ref = _level_iterations(level, tensor_dims)
+            relevant_total[tensor] *= rel
+            refetch_total[tensor] *= ref
+            if tensor == "O":
+                crossings = 2.0 * refetch_total[tensor] - relevant_total[tensor]
+            else:
+                crossings = refetch_total[tensor]
+            traffic[tensor] = tiles[tensor] * crossings * groups
+        per_boundary.append(traffic)
+    return per_boundary
 
 
 def evaluate_layer(
@@ -229,10 +268,10 @@ def evaluate_layer(
         )
 
     # ---- capacity validity (double-buffered working sets) -------------
+    resident_all = _all_resident_words(workload, dataflow)
     active_pes = dataflow.spatial_size
     for li in range(1, num_levels):
-        resident = _resident_words(workload, dataflow, li)
-        words = sum(resident.values())
+        words = sum(resident_all[li].values())
         if li == num_levels - 1:
             words *= active_pes  # RF capacity is aggregate over PEs
         need_bits = words * bits * 2.0
@@ -246,8 +285,9 @@ def evaluate_layer(
     traffic_by_level: Dict[str, Dict[str, float]] = {}
     energy = 0.0
     dma_cycles = []
+    traffic_all = _traffic_all_boundaries(workload, dataflow, resident_all)
     for boundary in range(num_levels - 1):
-        traffic = _tensor_traffic(workload, dataflow, boundary)
+        traffic = traffic_all[boundary]
         traffic_by_level[levels[boundary].name] = traffic
         words = sum(traffic.values())
         energy += words * levels[boundary].energy_per_word * word_scale
@@ -290,10 +330,10 @@ def capacity_violation(
     Returns ``None`` when every double-buffered working set fits.
     """
     levels = device.hierarchy.levels
+    resident_all = _all_resident_words(workload, dataflow)
     active_pes = dataflow.spatial_size
     for li in range(1, len(levels)):
-        resident = _resident_words(workload, dataflow, li)
-        words = sum(resident.values())
+        words = sum(resident_all[li].values())
         if li == len(levels) - 1:
             words *= active_pes
         cap = levels[li].capacity_bits
@@ -325,7 +365,7 @@ def make_valid(
     pe_budget = max(1, int(device.num_pes * pe_fraction))
     if flow.spatial_size > pe_budget:
         spatial = dict(flow.spatial)
-        while int(np.prod([max(v, 1) for v in spatial.values()] or [1])) > pe_budget:
+        while math.prod(max(v, 1) for v in spatial.values()) > pe_budget:
             d = max(spatial, key=lambda d_: spatial[d_])
             spatial[d] = max(1, spatial[d] // 2)
             if spatial[d] == 1:
@@ -333,13 +373,17 @@ def make_valid(
         flow = repair_dataflow(
             Dataflow(levels=flow.levels, spatial=spatial), workload, device
         )
+    # ``dirty`` tracks edits made since the last repair; repair is
+    # idempotent, so a clean flow can be returned without another pass
+    # (the common case: the very first capacity check succeeds).
+    dirty = False
     for _ in range(max_iterations):
         violation = capacity_violation(workload, flow, device, buffer_fraction)
         if violation is None:
-            return repair_dataflow(flow, workload, device)
-        levels = [
-            LevelTiling(order=l.order, tiles=dict(l.tiles)) for l in flow.levels
-        ]
+            return repair_dataflow(flow, workload, device) if dirty else flow
+        # Copy-on-write: only the shrunk level and the DRAM level are
+        # rebuilt below; the rest stay shared (LevelTiling is frozen).
+        levels = list(flow.levels)
         spatial = dict(flow.spatial)
         # Candidate factors at or inside the violating level.
         candidates = []
@@ -352,7 +396,7 @@ def make_valid(
             # Nothing temporal to shrink: reduce the spatial unrolling
             # (its union inflates every level above the register files).
             if not spatial:
-                return repair_dataflow(flow, workload, device)
+                return repair_dataflow(flow, workload, device) if dirty else flow
             d = max(spatial, key=lambda d_: spatial[d_])
             spatial[d] = max(1, spatial[d] // 2)
             if spatial[d] == 1:
@@ -361,6 +405,7 @@ def make_valid(
                 Dataflow(levels=tuple(levels), spatial=spatial),
                 workload, device,
             )
+            dirty = False
             continue
         f, li, d = max(candidates)
         inner = dict(levels[li].tiles)
@@ -370,6 +415,7 @@ def make_valid(
         levels[li] = LevelTiling(levels[li].order, inner)
         levels[0] = LevelTiling(levels[0].order, outer)
         flow = Dataflow(levels=tuple(levels), spatial=spatial)
+        dirty = True
     return repair_dataflow(flow, workload, device)
 
 

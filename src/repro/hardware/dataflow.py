@@ -47,6 +47,8 @@ __all__ = [
 # The order HLS-style FPGA templates keep for their inner loops.
 CANONICAL_ORDER: Tuple[str, ...] = ("N", "K", "C", "Y", "X", "R", "S")
 
+_DIMS_SET = frozenset(DIMS)
+
 
 @dataclass(frozen=True)
 class LevelTiling:
@@ -56,10 +58,13 @@ class LevelTiling:
     tiles: Dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self):
-        if sorted(self.order) != sorted(DIMS):
+        # Hot constructor (mutation/repair build thousands of levels per
+        # search): set comparison beats sorting, and only tile entries
+        # that exist need range checks.
+        if len(self.order) != len(DIMS) or set(self.order) != _DIMS_SET:
             raise ValueError(f"order must permute {DIMS}, got {self.order}")
-        for d in DIMS:
-            if self.tiles.get(d, 1) < 1:
+        for d, f in self.tiles.items():
+            if d in _DIMS_SET and f < 1:
                 raise ValueError(f"tile factor for {d} must be >= 1")
 
     def factor(self, dim: str) -> int:
@@ -67,7 +72,7 @@ class LevelTiling:
 
     def iterations(self) -> int:
         """Total loop iterations executed at this level."""
-        return int(np.prod([self.factor(d) for d in DIMS]))
+        return math.prod(self.tiles.get(d, 1) for d in DIMS)
 
 
 @dataclass(frozen=True)
@@ -94,7 +99,9 @@ class Dataflow:
 
     @property
     def spatial_size(self) -> int:
-        return int(np.prod([self.spatial_factor(d) for d in DIMS]))
+        # Spatial keys are validated against DIMS, so the dict product
+        # is the full spatial unrolling.
+        return math.prod(self.spatial.values()) if self.spatial else 1
 
     def coverage(self, dim: str) -> int:
         """Product of all factors (temporal x spatial) for a dimension."""
@@ -106,6 +113,33 @@ class Dataflow:
     def covers(self, workload: ConvWorkload) -> bool:
         """True when every loop bound is fully covered."""
         return all(self.coverage(d) >= b for d, b in workload.dims.items())
+
+    def cache_key(self) -> tuple:
+        """Hashable canonical identity of this mapping.
+
+        Two dataflows with the same key execute identically (tile factors
+        of 1 and absent dict entries are equivalent), so cost-model
+        results may be memoized on it — see the AutoMapper's
+        evaluate/make_valid caches.  Computed once per instance (the
+        dataclass is frozen, so the key cannot go stale).
+        """
+        try:
+            return self._cache_key_memo
+        except AttributeError:
+            pass
+        # Fixed-width factor tuples in canonical DIMS order: an absent
+        # tile entry equals a factor of 1, so no sorting or filtering is
+        # needed to canonicalise — this key is built on the search's hot
+        # path for every fresh candidate.
+        key = (
+            tuple(
+                (level.order, tuple(level.tiles.get(d, 1) for d in DIMS))
+                for level in self.levels
+            ),
+            tuple(self.spatial.get(d, 1) for d in DIMS),
+        )
+        object.__setattr__(self, "_cache_key_memo", key)
+        return key
 
     def describe(self) -> str:
         """Human-readable multi-line summary (used by example scripts)."""
@@ -242,9 +276,9 @@ def perturb_dataflow(
     factor.  FPGA platforms never mutate their fixed inner orders.
     """
     rng = rng or rng_mod.get_rng()
-    levels = [
-        LevelTiling(order=l.order, tiles=dict(l.tiles)) for l in dataflow.levels
-    ]
+    # Copy-on-write: LevelTiling is frozen, so unmutated levels are
+    # shared with the parent and only mutated slots are rebuilt.
+    levels = list(dataflow.levels)
     spatial = dict(dataflow.spatial)
     num_levels = len(levels)
     mutable_order_levels = (
@@ -298,13 +332,14 @@ def repair_dataflow(
     cost model as hard invalidity (infinite cost) rather than silent
     repair, so the search can learn the boundary.
     """
-    levels = [
-        LevelTiling(order=l.order, tiles=dict(l.tiles)) for l in dataflow.levels
-    ]
+    # Only the DRAM level is rewritten; inner levels are frozen and can
+    # be shared with the input dataflow (this runs at least once per
+    # candidate, so the avoided copies matter).
+    levels = dataflow.levels
     spatial = dict(dataflow.spatial)
 
     # Scale spatial down to the PE budget.
-    while int(np.prod([max(v, 1) for v in spatial.values()] or [1])) > device.num_pes:
+    while math.prod(max(v, 1) for v in spatial.values()) > device.num_pes:
         d = max(spatial, key=lambda d_: spatial[d_])
         spatial[d] = max(1, spatial[d] // 2)
         if spatial[d] == 1:
@@ -318,10 +353,10 @@ def repair_dataflow(
     for d, bound in workload.dims.items():
         inner = spatial.get(d, 1)
         for level in levels[1:]:
-            inner *= level.factor(d)
+            inner *= level.tiles.get(d, 1)
         outer[d] = max(1, _ceil_div(bound, inner))
-    levels[0] = LevelTiling(levels[0].order, outer)
-    return Dataflow(levels=tuple(levels), spatial=spatial)
+    new_outer = LevelTiling(levels[0].order, outer)
+    return Dataflow(levels=(new_outer,) + tuple(levels[1:]), spatial=spatial)
 
 
 def design_space_size(workload: ConvWorkload, num_levels: int = 4) -> float:

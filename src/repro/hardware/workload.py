@@ -25,6 +25,7 @@ precision (Fig. 6/7).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import cached_property
 from typing import Dict, Sequence, Tuple
 
 __all__ = ["DIMS", "TENSOR_DIMS", "ConvWorkload"]
@@ -76,9 +77,15 @@ class ConvWorkload:
     # ------------------------------------------------------------------
     # Loop-dim access
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def dims(self) -> Dict[str, int]:
-        """Loop bounds per canonical dimension (per channel group)."""
+        """Loop bounds per canonical dimension (per channel group).
+
+        Cached (the dataclass is frozen): the cost model reads the
+        bounds thousands of times per mapping search, and rebuilding the
+        dict dominated its profile.  Treat the returned dict as
+        read-only.
+        """
         return {
             "N": self.n,
             "K": self.k // self.groups,
@@ -92,7 +99,7 @@ class ConvWorkload:
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def macs(self) -> int:
         """Total multiply-accumulates (all groups)."""
         per_group = (

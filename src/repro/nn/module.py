@@ -135,6 +135,7 @@ class Module:
                     f"{param.data.shape} vs {state[name].shape}"
                 )
             param.data[...] = state[name]
+            param.bump_version()
         for name, buf in own_buffers.items():
             buf[...] = state[name]
 

@@ -67,6 +67,7 @@ class SGD(Optimizer):
             v *= self.momentum
             v += grad
             p.data -= self.lr * v
+            p.bump_version()
 
 
 class Adam(Optimizer):
@@ -108,3 +109,4 @@ class Adam(Optimizer):
             m_hat = m / bc1
             v_hat = v / bc2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            p.bump_version()

@@ -8,10 +8,18 @@ from .quantizers import (
     SBMQuantizer,
     make_quantizer,
 )
-from .layers import BitSpec, QuantConv2d, QuantLinear, normalize_bits
+from .layers import (
+    BitSpec,
+    QuantConv2d,
+    QuantLinear,
+    normalize_bits,
+    weight_cache,
+    weight_cache_enabled,
+)
 from .factory import SwitchableFactory
 from .network import (
     SwitchablePrecisionNetwork,
+    collect_switchable_layers,
     set_network_bitwidth,
     sort_bitwidths,
 )
@@ -27,8 +35,11 @@ __all__ = [
     "QuantConv2d",
     "QuantLinear",
     "normalize_bits",
+    "weight_cache",
+    "weight_cache_enabled",
     "SwitchableFactory",
     "SwitchablePrecisionNetwork",
+    "collect_switchable_layers",
     "set_network_bitwidth",
     "sort_bitwidths",
 ]

@@ -10,20 +10,69 @@ SP-Net parameterisation of AdaBits / SP that the paper builds CDT on.
 A bit-width may be a single int (weights and activations alike, as in
 Tables I-III) or a ``(weight_bits, activation_bits)`` pair (Table IV's
 W2A32 / W32A2 settings).
+
+Quantised-weight caching
+------------------------
+Weights only change at optimiser steps, yet CDT training forwards the
+batch at N bit-widths per step — so a naive implementation re-runs the
+full weight quantisation (tanh / max-abs / round over the whole tensor)
+N times per batch, and once per batch even during evaluation where the
+weights never change at all.  Each layer therefore caches the forward
+quantised array keyed on ``(weight_bits, weight.version)`` (see
+:attr:`repro.tensor.Tensor.version`): the array is recomputed exactly
+once per optimiser step per bit-width, while the straight-through op is
+still rebuilt every forward so gradients keep flowing to the shared
+float weight.  :func:`weight_cache` disables the cache for A/B
+benchmarking and equivalence tests.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple, Union
+import contextlib
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..nn import profile as profile_mod
 from ..nn.layers import Conv2d, Linear
-from ..tensor import Tensor, conv2d
+from ..tensor import Tensor, conv2d, straight_through, straight_through_t
 from .quantizers import Quantizer
 
-__all__ = ["BitSpec", "normalize_bits", "QuantConv2d", "QuantLinear"]
+__all__ = [
+    "BitSpec",
+    "normalize_bits",
+    "QuantConv2d",
+    "QuantLinear",
+    "weight_cache",
+    "weight_cache_enabled",
+]
 
 BitSpec = Union[int, Tuple[int, int]]
+
+_WEIGHT_CACHE_ENABLED = True
+
+
+def weight_cache_enabled() -> bool:
+    """Whether quantised-weight caching is currently active."""
+    return _WEIGHT_CACHE_ENABLED
+
+
+@contextlib.contextmanager
+def weight_cache(enabled: bool):
+    """Temporarily enable/disable the quantised-weight cache.
+
+    The disabled path recomputes the quantised array on every forward —
+    the pre-caching behaviour — and is what the perf bench uses as its
+    reference timing, and the equivalence tests as their reference
+    numerics.
+    """
+    global _WEIGHT_CACHE_ENABLED
+    previous = _WEIGHT_CACHE_ENABLED
+    _WEIGHT_CACHE_ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _WEIGHT_CACHE_ENABLED = previous
 
 
 def normalize_bits(bits: BitSpec) -> Tuple[int, int]:
@@ -44,6 +93,9 @@ class _SwitchableMixin:
         self.bit_widths = tuple(bit_widths)
         self.quantizer = quantizer
         self._active_bits: BitSpec = self.bit_widths[-1]
+        # Quantised-weight cache: key (weight_bits, weight.version), one
+        # entry per bit-width so CDT's N-width sweep hits N cached arrays.
+        self._wq_cache: dict = {}
 
     @property
     def active_bits(self) -> BitSpec:
@@ -56,6 +108,30 @@ class _SwitchableMixin:
                 f"bit-width {bits} not in candidate set {self.bit_widths}"
             )
         self._active_bits = bits
+
+    def _weight_transform(self, values: np.ndarray) -> np.ndarray:
+        """Layout transform applied to the cached quantised array."""
+        return values
+
+    def _cached_weight_values(self, w_bits: int) -> Optional[np.ndarray]:
+        """Quantised weight array for ``w_bits`` (``None`` = identity).
+
+        Served from the per-layer cache keyed ``(w_bits, version)``; a
+        version bump (optimiser step, ``load_state_dict``) drops every
+        stale entry so the cache never outlives a weight update.
+        """
+        if not _WEIGHT_CACHE_ENABLED:
+            values = self.quantizer.weight_values(self.weight.data, w_bits)
+            return None if values is None else self._weight_transform(values)
+        key = (w_bits, self.weight.version)
+        if key not in self._wq_cache:
+            if self._wq_cache and next(iter(self._wq_cache))[1] != self.weight.version:
+                self._wq_cache.clear()
+            values = self.quantizer.weight_values(self.weight.data, w_bits)
+            self._wq_cache[key] = (
+                None if values is None else self._weight_transform(values)
+            )
+        return self._wq_cache[key]
 
 
 class QuantConv2d(Conv2d, _SwitchableMixin):
@@ -84,7 +160,11 @@ class QuantConv2d(Conv2d, _SwitchableMixin):
             profiler.record_conv(self, x)
         w_bits, a_bits = normalize_bits(self._active_bits)
         x_q = self.quantizer.quantize_activation(x, a_bits)
-        w_q = self.quantizer.quantize_weight(self.weight, w_bits)
+        wq_values = self._cached_weight_values(w_bits)
+        if wq_values is None:
+            w_q = self.weight
+        else:
+            w_q = straight_through(self.weight, wq_values)
         return conv2d(
             x_q,
             w_q,
@@ -109,14 +189,22 @@ class QuantLinear(Linear, _SwitchableMixin):
         super().__init__(in_features, out_features, bias)
         self._init_bits(bit_widths, quantizer)
 
+    def _weight_transform(self, values: np.ndarray) -> np.ndarray:
+        # Cache the (in, out) layout matmul consumes, so the transpose is
+        # paid once per optimiser step instead of once per forward.
+        return np.ascontiguousarray(values.T)
+
     def forward(self, x: Tensor) -> Tensor:
         profiler = profile_mod.active_profiler()
         if profiler is not None:
             profiler.record_linear(self, x)
         w_bits, a_bits = normalize_bits(self._active_bits)
         x_q = self.quantizer.quantize_activation(x, a_bits)
-        w_q = self.quantizer.quantize_weight(self.weight, w_bits)
-        out = x_q @ w_q.transpose()
+        wq_t = self._cached_weight_values(w_bits)
+        if wq_t is None:
+            out = x_q @ self.weight.transpose()
+        else:
+            out = x_q @ straight_through_t(self.weight, wq_t)
         if self.bias is not None:
             out = out + self.bias
         return out

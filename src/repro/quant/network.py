@@ -16,7 +16,29 @@ from ..nn.module import Module
 from ..tensor import Tensor
 from .layers import BitSpec, normalize_bits
 
-__all__ = ["set_network_bitwidth", "SwitchablePrecisionNetwork", "sort_bitwidths"]
+__all__ = [
+    "collect_switchable_layers",
+    "set_network_bitwidth",
+    "SwitchablePrecisionNetwork",
+    "sort_bitwidths",
+]
+
+
+def collect_switchable_layers(model: Module) -> tuple:
+    """All descendants of ``model`` exposing a callable ``set_bitwidth``.
+
+    One traversal of the module tree; :class:`SwitchablePrecisionNetwork`
+    caches the result so the N bit-width switches of every CDT batch cost
+    N short loops instead of N full tree walks.
+    """
+    layers = []
+    for module in model.modules():
+        if module is model:
+            continue
+        setter = getattr(module, "set_bitwidth", None)
+        if callable(setter):
+            layers.append(module)
+    return tuple(layers)
 
 
 def set_network_bitwidth(model: Module, bits: BitSpec) -> int:
@@ -26,15 +48,10 @@ def set_network_bitwidth(model: Module, bits: BitSpec) -> int:
     switchable layers — usually a configuration mistake, so callers may
     assert on it).
     """
-    switched = 0
-    for module in model.modules():
-        if module is model:
-            continue
-        setter = getattr(module, "set_bitwidth", None)
-        if callable(setter):
-            setter(bits)
-            switched += 1
-    return switched
+    layers = collect_switchable_layers(model)
+    for layer in layers:
+        layer.set_bitwidth(bits)
+    return len(layers)
 
 
 def sort_bitwidths(bit_widths: Sequence[BitSpec]) -> list:
@@ -66,13 +83,22 @@ class SwitchablePrecisionNetwork(Module):
             raise ValueError("bit_widths must be non-empty")
         self.model = model
         self.bit_widths = tuple(sort_bitwidths(bit_widths))
-        # Leave the network in its highest precision by default.
-        switched = set_network_bitwidth(model, self.bit_widths[-1])
-        if switched == 0:
+        # Collected once: the trainers switch bit-widths N times per
+        # batch, and re-walking the module tree each time dominated
+        # set_bitwidth's cost.  Models are structurally frozen once
+        # wrapped (call _refresh_switchable after any surgery).
+        self._switchable = collect_switchable_layers(model)
+        if not self._switchable:
             raise ValueError(
                 "model has no switchable layers; build it with a "
                 "SwitchableFactory before wrapping"
             )
+        # Leave the network in its highest precision by default.
+        self.set_bitwidth(self.bit_widths[-1])
+
+    def _refresh_switchable(self) -> None:
+        """Re-scan the wrapped model after structural changes."""
+        self._switchable = collect_switchable_layers(self.model)
 
     @property
     def lowest(self) -> BitSpec:
@@ -86,7 +112,8 @@ class SwitchablePrecisionNetwork(Module):
     def set_bitwidth(self, bits: BitSpec) -> None:
         if bits not in self.bit_widths:
             raise ValueError(f"{bits} not in candidate set {self.bit_widths}")
-        set_network_bitwidth(self.model, bits)
+        for layer in self._switchable:
+            layer.set_bitwidth(bits)
         self._active = bits
 
     @contextlib.contextmanager

@@ -45,8 +45,22 @@ class Quantizer:
 
     name = "base"
 
-    def quantize_weight(self, weight: Tensor, bits: int) -> Tensor:
+    def weight_values(self, weight: np.ndarray, bits: int):
+        """Quantised weight *array*, or ``None`` when quantisation is the
+        identity (full precision, or a degenerate all-zero tensor).
+
+        This is the pure forward computation with no autograd wiring —
+        the piece the switchable layers cache per ``(bits, version)`` so
+        that CDT's N-bit-width forwards re-quantise shared weights once
+        per optimiser step instead of once per forward.
+        """
         raise NotImplementedError
+
+    def quantize_weight(self, weight: Tensor, bits: int) -> Tensor:
+        values = self.weight_values(weight.data, bits)
+        if values is None:
+            return weight
+        return straight_through(weight, values)
 
     def quantize_activation(self, x: Tensor, bits: int) -> Tensor:
         raise NotImplementedError
@@ -78,22 +92,21 @@ class DoReFaQuantizer(Quantizer):
             raise ValueError("activation_range must be positive")
         self.activation_range = float(activation_range)
 
-    def quantize_weight(self, weight: Tensor, bits: int) -> Tensor:
+    def weight_values(self, weight: np.ndarray, bits: int):
         if bits >= FULL_PRECISION_BITS:
-            return weight
+            return None
         if bits < 1:
             raise ValueError(f"weight bits must be >= 1, got {bits}")
         levels = (1 << bits) - 1
-        t = np.tanh(weight.data)
+        t = np.tanh(weight)
         max_t = np.abs(t).max()
         if max_t == 0.0:
-            return weight
+            return None
         normalized = t / (2.0 * max_t) + 0.5
         quantized = 2.0 * _uniform_levels(normalized, levels) - 1.0
         # Match the float magnitude so switching bit-widths keeps scale:
         # DoReFa maps into [-1, 1]; rescale by the original max magnitude.
-        quantized = quantized * np.abs(weight.data).max()
-        return straight_through(weight, quantized)
+        return quantized * np.abs(weight).max()
 
     def quantize_activation(self, x: Tensor, bits: int) -> Tensor:
         if bits >= FULL_PRECISION_BITS:
@@ -119,20 +132,22 @@ class SBMQuantizer(Quantizer):
 
     name = "sbm"
 
-    def quantize_weight(self, weight: Tensor, bits: int) -> Tensor:
+    def weight_values(self, weight: np.ndarray, bits: int):
         if bits >= FULL_PRECISION_BITS:
-            return weight
+            return None
         if bits < 2:
             raise ValueError(f"SBM weight bits must be >= 2, got {bits}")
         qmax = (1 << (bits - 1)) - 1
-        w = weight.data
         # Per-output-channel scale: axis 0 is C_out for both conv (4-D)
         # and linear (2-D) weights.
-        reduce_axes = tuple(range(1, w.ndim))
-        max_abs = np.abs(w).max(axis=reduce_axes, keepdims=True)
+        reduce_axes = tuple(range(1, weight.ndim))
+        max_abs = np.abs(weight).max(axis=reduce_axes, keepdims=True)
         scale = np.where(max_abs > 0, max_abs / qmax, 1.0)
-        quantized = np.clip(np.round(w / scale), -qmax, qmax) * scale
-        return straight_through(weight, quantized)
+        quantized = weight / scale
+        np.round(quantized, out=quantized)
+        np.clip(quantized, -qmax, qmax, out=quantized)
+        quantized *= scale
+        return quantized
 
     def quantize_activation(self, x: Tensor, bits: int) -> Tensor:
         if bits >= FULL_PRECISION_BITS:
@@ -145,12 +160,17 @@ class SBMQuantizer(Quantizer):
             qmax = (1 << bits) - 1
             hi = float(data.max()) if data.size else 0.0
             scale = hi / qmax if hi > 0 else 1.0
-            quantized = np.clip(np.round(data / scale), 0, qmax) * scale
         else:
             qmax = (1 << (bits - 1)) - 1
             max_abs = float(np.abs(data).max())
             scale = max_abs / qmax if max_abs > 0 else 1.0
-            quantized = np.clip(np.round(data / scale), -qmax, qmax) * scale
+        # The dynamic scale maps the observed extrema exactly onto the
+        # grid ends, so rounding already lands in [-qmax, qmax] (or
+        # [0, qmax]) and no clip pass is needed; in-place round/rescale
+        # avoids two temporaries on this every-forward path.
+        quantized = data / scale
+        np.round(quantized, out=quantized)
+        quantized *= scale
         return straight_through(x, quantized)
 
 
@@ -163,25 +183,26 @@ class MinMaxQuantizer(Quantizer):
 
     name = "minmax"
 
-    def _affine(self, x: Tensor, bits: int) -> Tensor:
+    def _affine_values(self, data: np.ndarray, bits: int):
         if bits >= FULL_PRECISION_BITS:
-            return x
+            return None
         if bits < 1:
             raise ValueError(f"bits must be >= 1, got {bits}")
         levels = (1 << bits) - 1
-        data = x.data
         lo, hi = float(data.min()), float(data.max())
         if hi == lo:
-            return x
+            return None
         scale = (hi - lo) / levels
-        quantized = np.round((data - lo) / scale) * scale + lo
-        return straight_through(x, quantized)
+        return np.round((data - lo) / scale) * scale + lo
 
-    def quantize_weight(self, weight: Tensor, bits: int) -> Tensor:
-        return self._affine(weight, bits)
+    def weight_values(self, weight: np.ndarray, bits: int):
+        return self._affine_values(weight, bits)
 
     def quantize_activation(self, x: Tensor, bits: int) -> Tensor:
-        return self._affine(x, bits)
+        values = self._affine_values(x.data, bits)
+        if values is None:
+            return x
+        return straight_through(x, values)
 
 
 _REGISTRY = {

@@ -27,13 +27,15 @@ from .conv import (
     col2im,
     conv2d,
     conv_output_size,
+    fast_conv,
+    fast_conv_enabled,
     global_avg_pool2d,
     im2col,
     max_pool2d,
 )
 from .norm import batch_norm2d
 from .losses import accuracy, cross_entropy, kl_div_loss, mse_loss
-from .ste import round_ste, straight_through
+from .ste import round_ste, straight_through, straight_through_t
 from .gradcheck import check_gradients, numerical_gradient
 
 __all__ = [
@@ -56,6 +58,8 @@ __all__ = [
     "col2im",
     "conv2d",
     "conv_output_size",
+    "fast_conv",
+    "fast_conv_enabled",
     "global_avg_pool2d",
     "im2col",
     "max_pool2d",
@@ -66,6 +70,7 @@ __all__ = [
     "mse_loss",
     "round_ste",
     "straight_through",
+    "straight_through_t",
     "check_gradients",
     "numerical_gradient",
 ]

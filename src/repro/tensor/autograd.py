@@ -92,7 +92,10 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "data", "grad", "requires_grad", "_backward", "_parents", "name",
+        "_version",
+    )
 
     def __init__(
         self,
@@ -116,6 +119,7 @@ class Tensor:
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents = _parents
         self.name = name
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -138,6 +142,22 @@ class Tensor:
 
     def __len__(self) -> int:
         return len(self.data)
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of in-place writes to :attr:`data`.
+
+        Writers that mutate ``data`` in place (optimiser steps,
+        ``load_state_dict``) must call :meth:`bump_version` afterwards;
+        derived caches (e.g. the quantised-weight cache in
+        :mod:`repro.quant.layers`) key on ``(..., version)`` so they are
+        recomputed exactly once per write instead of once per read.
+        """
+        return self._version
+
+    def bump_version(self) -> None:
+        """Mark :attr:`data` as mutated, invalidating value caches."""
+        self._version += 1
 
     def __repr__(self) -> str:
         grad_note = ", requires_grad=True" if self.requires_grad else ""

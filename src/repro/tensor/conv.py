@@ -7,10 +7,35 @@ the paper — run through exactly the same code path as dense convolutions.
 Layout convention is NCHW throughout, matching both the PyTorch reference
 and the loop-nest nomenclature used by the hardware cost model
 (:mod:`repro.hardware`).
+
+Fast paths
+----------
+Three execution strategies share one differentiable ``conv2d`` surface:
+
+* **pointwise** — 1x1 / stride-1 / pad-0 / dense convolutions skip im2col
+  entirely: the layer is a batched BLAS matmul over a reshape of the
+  input.  MobileNetV2 is dominated by pointwise convs, so this is the
+  headline wall-clock win for the CDT tables.
+* **dense** — ``groups == 1`` convolutions use batched ``np.matmul`` on
+  the im2col columns instead of ``einsum`` (lower dispatch overhead,
+  direct BLAS).
+* **depthwise** — ``groups == C_in == C_out`` convolutions (MobileNetV2's
+  other workhorse) window the input once and contract each channel's
+  taps with a batched matvec, skipping the grouped einsum and the
+  ``(N, C*KH*KW, L)`` column blow-up entirely; the stride-1 input
+  gradient is itself computed as a depthwise correlation (pad + flipped
+  filter), so no scatter-add fold is needed.
+* **grouped** — the general ``einsum`` path, kept as the reference
+  implementation for every layout and used for exotic group counts.
+
+:func:`fast_conv` toggles the fast paths off, forcing everything through
+the grouped reference path — used by the equivalence tests and as the
+perf bench's reference timing.
 """
 
 from __future__ import annotations
 
+import contextlib
 from typing import Optional, Tuple
 
 import numpy as np
@@ -25,7 +50,32 @@ __all__ = [
     "max_pool2d",
     "global_avg_pool2d",
     "conv_output_size",
+    "fast_conv",
+    "fast_conv_enabled",
 ]
+
+_FAST_CONV = True
+
+
+def fast_conv_enabled() -> bool:
+    """Whether the matmul fast paths are currently active."""
+    return _FAST_CONV
+
+
+@contextlib.contextmanager
+def fast_conv(enabled: bool):
+    """Temporarily enable/disable conv2d's matmul fast paths.
+
+    With ``enabled=False`` every convolution runs the grouped einsum
+    reference path, which the equivalence tests compare against.
+    """
+    global _FAST_CONV
+    previous = _FAST_CONV
+    _FAST_CONV = bool(enabled)
+    try:
+        yield
+    finally:
+        _FAST_CONV = previous
 
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -33,25 +83,68 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return (size + 2 * padding - kernel) // stride + 1
 
 
+def _pad_nchw(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two spatial dims (cheaper than generic ``np.pad``)."""
+    n, c, h, w = x.shape
+    out = np.zeros(
+        (n, c, h + 2 * padding, w + 2 * padding), dtype=x.dtype
+    )
+    out[:, :, padding:-padding, padding:-padding] = x
+    return out
+
+
 def im2col(
     x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
 ) -> np.ndarray:
     """Unfold ``x`` (N, C, H, W) into columns (N, C*KH*KW, OH*OW).
 
-    Uses a strided sliding-window view so the only copy is the final
-    ``reshape`` — this keeps CPU training of the scaled-down models fast
-    enough for the experiment harness.
+    Uses a strided sliding-window view; the ``reshape`` of the permuted
+    view is the only copy (it always produces a fresh C-contiguous
+    array, so no extra ``ascontiguousarray`` pass is needed).
     """
     kh, kw = kernel
     n, c, h, w = x.shape
     if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        x = _pad_nchw(x, padding)
     oh = conv_output_size(h, kh, stride, padding)
     ow = conv_output_size(w, kw, stride, padding)
     windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
     windows = windows[:, :, ::stride, ::stride, :, :]  # (N, C, OH, OW, KH, KW)
-    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, oh * ow)
-    return np.ascontiguousarray(cols)
+    return windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, oh * ow)
+
+
+def _fold_windows(
+    target: np.ndarray,
+    windows: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: int,
+) -> None:
+    """Scatter-add ``windows`` (N, C, KH, KW, OH, OW) into ``target``.
+
+    When windows do not overlap (``stride >= kernel``) every target
+    element is written by at most one window tap, so the whole fold is a
+    single strided-view assignment — the write-side twin of the
+    sliding-window view the forward passes use.  Overlapping windows
+    alias memory, where a strided-view ``+=`` would be undefined, so the
+    fold falls back to one vectorised accumulation per kernel tap.
+    """
+    kh, kw = kernel
+    n, c = target.shape[:2]
+    oh, ow = windows.shape[4], windows.shape[5]
+    if stride >= kh and stride >= kw:
+        s0, s1, s2, s3 = target.strides
+        view = np.lib.stride_tricks.as_strided(
+            target,
+            shape=(n, c, oh, ow, kh, kw),
+            strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        )
+        view[...] = windows.transpose(0, 1, 4, 5, 2, 3)
+        return
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            target[:, :, i:i_end:stride, j:j_end:stride] += windows[:, :, i, j]
 
 
 def col2im(
@@ -72,12 +165,7 @@ def col2im(
     oh = conv_output_size(h, kh, stride, padding)
     ow = conv_output_size(w, kw, stride, padding)
     x_padded = np.zeros((n, c, hp, wp), dtype=cols.dtype)
-    cols = cols.reshape(n, c, kh, kw, oh, ow)
-    for i in range(kh):
-        i_end = i + stride * oh
-        for j in range(kw):
-            j_end = j + stride * ow
-            x_padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j]
+    _fold_windows(x_padded, cols.reshape(n, c, kh, kw, oh, ow), kernel, stride)
     if padding > 0:
         return x_padded[:, :, padding:-padding, padding:-padding]
     return x_padded
@@ -116,32 +204,164 @@ def conv2d(
         raise ValueError(f"C_out={c_out} not divisible by groups={groups}")
     oh = conv_output_size(h, kh, stride, padding)
     ow = conv_output_size(w, kw, stride, padding)
-
-    cols = im2col(x.data, (kh, kw), stride, padding)  # (N, C*KH*KW, L)
     l = oh * ow
-    c_out_g = c_out // groups
-    k = c_in_g * kh * kw
-    cols_g = cols.reshape(n, groups, k, l)
-    w_g = weight.data.reshape(groups, c_out_g, k)
-    out = np.einsum("gok,ngkl->ngol", w_g, cols_g, optimize=True)
-    out = out.reshape(n, c_out, oh, ow)
+
+    pointwise = (
+        _FAST_CONV and groups == 1 and kh == 1 and kw == 1
+        and stride == 1 and padding == 0
+    )
+    if pointwise:
+        # 1x1 / stride-1 / pad-0: the conv IS a matmul over channels; no
+        # unfold, no fold, no column buffers.
+        x2 = x.data.reshape(n, c_in, l)
+        w2 = weight.data.reshape(c_out, c_in)
+        out = np.matmul(w2, x2).reshape(n, c_out, oh, ow)
+
+        def backward_pointwise(grad):
+            grad2 = grad.reshape(n, c_out, l)
+            gw = np.matmul(grad2, x2.transpose(0, 2, 1)).sum(axis=0)
+            gw = gw.reshape(c_out, c_in_g, kh, kw)
+            gx = np.matmul(w2.T, grad2).reshape(n, c_in, h, w)
+            if bias is not None:
+                return gx, gw, grad.sum(axis=(0, 2, 3))
+            return gx, gw
+
+        backward = backward_pointwise
+    elif _FAST_CONV and groups == c_in and c_out == c_in and c_in_g == 1 and stride == 1:
+        # Depthwise stride-1 conv by padding-free tap accumulation:
+        # KH*KW fully-vectorised multiply-adds over (N, C, OH, OW),
+        # with tap slices clipped at the borders instead of copying the
+        # input into a zero-padded buffer (the halo products are zero,
+        # so clipping is exact).  No im2col, no grouped einsum, and the
+        # backward scatters straight into an unpadded gx.
+        xd = x.data
+        w2 = weight.data.reshape(c_out, kh, kw)
+        out = np.zeros((n, c_out, oh, ow), dtype=x.data.dtype)
+        taps = []
+        for i in range(kh):
+            a0, a1 = max(0, padding - i), min(oh, h + padding - i)
+            if a1 <= a0:
+                continue
+            for j in range(kw):
+                b0, b1 = max(0, padding - j), min(ow, w + padding - j)
+                if b1 <= b0:
+                    continue
+                dst = (
+                    slice(None), slice(None), slice(a0, a1), slice(b0, b1)
+                )
+                src = (
+                    slice(None), slice(None),
+                    slice(a0 + i - padding, a1 + i - padding),
+                    slice(b0 + j - padding, b1 + j - padding),
+                )
+                wc = w2[:, i, j].reshape(1, c_out, 1, 1)
+                taps.append((i, j, dst, src, wc))
+                out[dst] += xd[src] * wc
+
+        def backward_depthwise_s1(grad):
+            gw = np.zeros_like(weight.data)
+            gx = np.zeros_like(xd)
+            for i, j, dst, src, wc in taps:
+                # einsum fuses multiply+reduce in one pass (no temp);
+                # notably faster than (grad * x).sum(...) here.
+                gw[:, 0, i, j] = np.einsum("nchw,nchw->c", grad[dst], xd[src])
+                gx[src] += grad[dst] * wc
+            if bias is not None:
+                return gx, gw, grad.sum(axis=(0, 2, 3))
+            return gx, gw
+
+        backward = backward_depthwise_s1
+    elif _FAST_CONV and groups == c_in and c_out == c_in and c_in_g == 1:
+        # Strided depthwise conv: tap accumulation over a zero-padded
+        # copy (clipping strided taps at the borders is not worth the
+        # index gymnastics; stride > 1 depthwise layers are rare).
+        xp = x.data
+        if padding > 0:
+            xp = _pad_nchw(xp, padding)
+        w4 = weight.data.reshape(1, c_out, kh, kw, 1, 1)
+        out = None
+        for i in range(kh):
+            i_end = i + stride * oh
+            for j in range(kw):
+                j_end = j + stride * ow
+                tap = xp[:, :, i:i_end:stride, j:j_end:stride] * w4[:, :, i, j]
+                if out is None:
+                    out = tap  # first tap owns the accumulator
+                else:
+                    out += tap
+
+        def backward_depthwise(grad):
+            gw = np.empty_like(weight.data)
+            gxp = np.zeros_like(xp)
+            buf = np.empty_like(grad)  # reused per-tap product buffer
+            for i in range(kh):
+                i_end = i + stride * oh
+                for j in range(kw):
+                    j_end = j + stride * ow
+                    tap = (
+                        slice(None), slice(None),
+                        slice(i, i_end, stride), slice(j, j_end, stride),
+                    )
+                    gw[:, 0, i, j] = np.einsum("nchw,nchw->c", grad, xp[tap])
+                    np.multiply(grad, w4[:, :, i, j], out=buf)
+                    gxp[tap] += buf
+            if padding > 0:
+                gx = gxp[:, :, padding:-padding, padding:-padding]
+            else:
+                gx = gxp
+            if bias is not None:
+                return gx, gw, grad.sum(axis=(0, 2, 3))
+            return gx, gw
+
+        backward = backward_depthwise
+    elif _FAST_CONV and groups == 1:
+        # Dense conv: batched BLAS matmul on the im2col columns.
+        cols = im2col(x.data, (kh, kw), stride, padding)  # (N, K, L)
+        k = c_in_g * kh * kw
+        w2 = weight.data.reshape(c_out, k)
+        out = np.matmul(w2, cols).reshape(n, c_out, oh, ow)
+
+        def backward_dense(grad):
+            grad2 = grad.reshape(n, c_out, l)
+            gw = np.matmul(grad2, cols.transpose(0, 2, 1)).sum(axis=0)
+            gw = gw.reshape(c_out, c_in_g, kh, kw)
+            gcols = np.matmul(w2.T, grad2)
+            gx = col2im(gcols, (n, c_in, h, w), (kh, kw), stride, padding)
+            if bias is not None:
+                return gx, gw, grad.sum(axis=(0, 2, 3))
+            return gx, gw
+
+        backward = backward_dense
+    else:
+        # Grouped reference path (depthwise convs, and everything when
+        # the fast paths are disabled).
+        cols = im2col(x.data, (kh, kw), stride, padding)  # (N, C*KH*KW, L)
+        c_out_g = c_out // groups
+        k = c_in_g * kh * kw
+        cols_g = cols.reshape(n, groups, k, l)
+        w_g = weight.data.reshape(groups, c_out_g, k)
+        out = np.einsum("gok,ngkl->ngol", w_g, cols_g, optimize=True)
+        out = out.reshape(n, c_out, oh, ow)
+
+        def backward_grouped(grad):
+            grad_g = grad.reshape(n, groups, c_out_g, l)
+            gw = np.einsum("ngol,ngkl->gok", grad_g, cols_g, optimize=True)
+            gw = gw.reshape(c_out, c_in_g, kh, kw)
+            gcols = np.einsum("gok,ngol->ngkl", w_g, grad_g, optimize=True)
+            gcols = gcols.reshape(n, c_in * kh * kw, l)
+            gx = col2im(gcols, (n, c_in, h, w), (kh, kw), stride, padding)
+            if bias is not None:
+                return gx, gw, grad.sum(axis=(0, 2, 3))
+            return gx, gw
+
+        backward = backward_grouped
+
     if bias is not None:
         bias = ensure_tensor(bias)
         out = out + bias.data.reshape(1, c_out, 1, 1)
-
-    parents = (x, weight, bias) if bias is not None else (x, weight)
-
-    def backward(grad):
-        grad_g = grad.reshape(n, groups, c_out_g, l)
-        gw = np.einsum("ngol,ngkl->gok", grad_g, cols_g, optimize=True)
-        gw = gw.reshape(c_out, c_in_g, kh, kw)
-        gcols = np.einsum("gok,ngol->ngkl", w_g, grad_g, optimize=True)
-        gcols = gcols.reshape(n, c_in * kh * kw, l)
-        gx = col2im(gcols, (n, c_in, h, w), (kh, kw), stride, padding)
-        if bias is not None:
-            gb = grad.sum(axis=(0, 2, 3))
-            return gx, gw, gb
-        return gx, gw
+        parents = (x, weight, bias)
+    else:
+        parents = (x, weight)
 
     return make_op(out, parents, backward)
 
@@ -162,9 +382,22 @@ def avg_pool2d(x, kernel: int, stride: Optional[int] = None) -> Tensor:
     def backward(grad):
         gx = np.zeros_like(x.data)
         g = grad * scale
-        for i in range(kernel):
-            for j in range(kernel):
-                gx[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += g
+        if stride >= kernel:
+            # Disjoint windows: write every tap of every window in one
+            # broadcast assignment through a strided view of gx — the
+            # backward twin of the forward's sliding-window view.
+            s0, s1, s2, s3 = gx.strides
+            view = np.lib.stride_tricks.as_strided(
+                gx,
+                shape=(n, c, oh, ow, kernel, kernel),
+                strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+            )
+            view[...] = g[..., None, None]
+        else:
+            for i in range(kernel):
+                for j in range(kernel):
+                    gx[:, :, i : i + stride * oh : stride,
+                       j : j + stride * ow : stride] += g
         return (gx,)
 
     return make_op(out, (x,), backward)

@@ -52,37 +52,56 @@ def batch_norm2d(
     count = n * h * w
 
     if training:
-        mean = x.data.mean(axis=axes)
-        var = x.data.var(axis=axes)
+        # Centre once and derive the (biased) variance from the centred
+        # tensor — the same operation sequence np.var performs, so the
+        # statistics are unchanged, but the centred array is reused for
+        # x_hat instead of subtracting the mean a second time.
+        inv_count = 1.0 / count
+        mean4 = (np.einsum("nchw->c", x.data) * inv_count).reshape(1, c, 1, 1)
+        xc = x.data - mean4
+        # einsum fuses square+reduce without a temporary; same biased
+        # variance up to summation order.
+        var = np.einsum("nchw,nchw->c", xc, xc) * inv_count
         running_mean *= 1.0 - momentum
-        running_mean += momentum * mean
+        running_mean += momentum * mean4.reshape(c)
         # Unbiased variance in the running buffer, biased in the forward:
         # the PyTorch convention, kept so literature hyper-parameters apply.
         unbiased = var * count / max(count - 1, 1)
         running_var *= 1.0 - momentum
         running_var += momentum * unbiased
     else:
-        mean = running_mean
+        mean4 = running_mean.reshape(1, c, 1, 1)
+        xc = x.data - mean4
         var = running_var
 
     inv_std = 1.0 / np.sqrt(var + eps)
-    x_hat = (x.data - mean.reshape(1, c, 1, 1)) * inv_std.reshape(1, c, 1, 1)
-    out = gamma.data.reshape(1, c, 1, 1) * x_hat + beta.data.reshape(1, c, 1, 1)
+    # x_hat = xc * inv_std is never materialised: the affine output folds
+    # gamma into the per-channel scale, and the backward derives every
+    # x_hat term from the centred tensor and per-channel scalars.
+    scale4 = (gamma.data * inv_std).reshape(1, c, 1, 1)
+    out = xc * scale4
+    out += beta.data.reshape(1, c, 1, 1)
 
     def backward(grad):
-        g = gamma.data.reshape(1, c, 1, 1)
-        ggamma = (grad * x_hat).sum(axis=axes)
-        gbeta = grad.sum(axis=axes)
+        # Fused backward: the per-channel reductions of the standard BN
+        # gradient are exactly ggamma and gbeta scaled by gamma, so the
+        # mean/projection terms reuse them instead of re-reducing
+        # (einsum fuses multiply+reduce without a temporary).
+        ggamma = np.einsum("nchw,nchw->c", grad, xc) * inv_std
+        gbeta = np.einsum("nchw->c", grad)
         if training:
-            # Standard fused BN backward (batch statistics participate).
-            gxhat = grad * g
-            istd = inv_std.reshape(1, c, 1, 1)
-            term1 = gxhat
-            term2 = gxhat.mean(axis=axes, keepdims=True)
-            term3 = x_hat * (gxhat * x_hat).mean(axis=axes, keepdims=True)
-            gx = istd * (term1 - term2 - term3)
+            ic = 1.0 / count
+            g4 = gamma.data.reshape(1, c, 1, 1)
+            istd4 = inv_std.reshape(1, c, 1, 1)
+            term2 = (gamma.data * gbeta * ic).reshape(1, c, 1, 1)
+            proj = (gamma.data * ggamma * ic * inv_std).reshape(1, c, 1, 1)
+            # In-place chain: one temporary instead of five.
+            gx = grad * g4
+            gx -= term2
+            gx -= xc * proj
+            gx *= istd4
         else:
-            gx = grad * g * inv_std.reshape(1, c, 1, 1)
+            gx = grad * scale4
         return gx, ggamma, gbeta
 
     return make_op(out, (x, gamma, beta), backward)

@@ -177,7 +177,10 @@ def clip(a, low: float, high: float) -> Tensor:
     """Clamp to ``[low, high]``; gradient is zero outside the interval."""
     a = ensure_tensor(a)
     out = np.clip(a.data, low, high)
-    inside = (a.data >= low) & (a.data <= high)
+    # A value is inside the interval exactly when clipping left it
+    # untouched — one compare instead of two compares plus a cast, on
+    # the hottest activation (ReLU6) path.
+    inside = out == a.data
     return make_op(out, (a,), lambda grad: (grad * inside,))
 
 

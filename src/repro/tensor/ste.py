@@ -16,7 +16,7 @@ import numpy as np
 
 from .autograd import Tensor, ensure_tensor, make_op
 
-__all__ = ["straight_through", "round_ste"]
+__all__ = ["straight_through", "straight_through_t", "round_ste"]
 
 
 def straight_through(
@@ -56,6 +56,31 @@ def straight_through(
         return (grad * mask,)
 
     return make_op(quantized, (x,), backward)
+
+
+def straight_through_t(x, quantized_t: np.ndarray) -> Tensor:
+    """STE whose forward value is the *transpose* of the quantised input.
+
+    ``quantized_t`` holds the quantised values of the 2-D tensor ``x``
+    already transposed (shape ``x.shape[::-1]``).  The gradient is
+    transposed back onto ``x``.  This lets :class:`repro.quant.QuantLinear`
+    cache the transposed, contiguous quantised weight it feeds to matmul
+    instead of re-transposing on every forward.
+    """
+    x = ensure_tensor(x)
+    if x.ndim != 2:
+        raise ValueError(f"straight_through_t expects a 2-D tensor, got {x.shape}")
+    quantized_t = np.asarray(quantized_t, dtype=x.dtype)
+    if quantized_t.shape != x.shape[::-1]:
+        raise ValueError(
+            f"transposed shape {quantized_t.shape} must match input "
+            f"{x.shape} reversed"
+        )
+
+    def backward(grad):
+        return (grad.T,)
+
+    return make_op(quantized_t, (x,), backward)
 
 
 def round_ste(x) -> Tensor:
