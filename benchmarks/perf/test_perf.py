@@ -41,6 +41,8 @@ def test_all_tracked_ops_present(suite_results):
         "cdt_training_step",
         "spnet_eval_forward",
         "automapper_alexnet_search",
+        "serve_sim_bursty_slo",
+        "serve_checkpoint_roundtrip",
     }
     for entry in suite_results["ops"].values():
         assert entry["median_s"] > 0

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repo CI gate: tier-1 tests, a serving-layer smoke scenario, and the
+# tracked perf bench (regression-gated against the committed baseline).
+#
+#   bash scripts/ci.sh            # full gate
+#   bash scripts/ci.sh --fast     # tier-1 tests only
+#
+# Each stage fails fast; the script exits non-zero on the first failure.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "==> tier-1 pytest"
+python -m pytest -x -q
+
+if [[ "${1:-}" == "--fast" ]]; then
+    echo "==> done (fast mode: skipped serve-sim + bench)"
+    exit 0
+fi
+
+echo "==> serve-sim smoke (bursty scenario, all policies)"
+python -m repro serve-sim --scenario bursty --policy all --scale smoke --seed 0
+
+echo "==> perf bench smoke (gated on benchmarks/perf/baseline.json)"
+python -m repro bench --scale smoke
+
+echo "==> CI gate passed"

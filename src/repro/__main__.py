@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate paper tables/figures.
+"""Command-line entry point: experiments, perf bench, serving simulator.
 
 Usage::
 
@@ -6,6 +6,7 @@ Usage::
     python -m repro run table1 --scale smoke --seed 0
     python -m repro run all --scale default
     python -m repro bench --scale smoke
+    python -m repro serve-sim --scenario bursty --policy all --scale smoke
 """
 
 from __future__ import annotations
@@ -21,33 +22,62 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", help="table1..table4, fig2..fig7, or all")
     run.add_argument("--scale", default="smoke",
                      choices=("smoke", "default", "full"))
     run.add_argument("--seed", type=int, default=0)
-    sub.add_parser(
-        "bench",
-        help="run the tracked perf suite (see `repro bench --help`)",
-        add_help=False,
+
+    from .bench.perf import add_arguments as add_bench_arguments
+
+    add_bench_arguments(
+        sub.add_parser(
+            "bench",
+            help="run the tracked perf suite and write BENCH_perf.json",
+            description="run the tracked perf suite and write BENCH_perf.json",
+        )
+    )
+
+    serve = sub.add_parser(
+        "serve-sim",
+        help="simulate the serving runtime under a traffic scenario",
+        description=(
+            "replay a deterministic arrival scenario against the "
+            "micro-batched inference engine and report latency "
+            "percentiles, throughput, and the per-bit-width occupancy "
+            "histogram for each precision policy"
+        ),
+    )
+    # Literal copies of repro.serve's SCENARIO_NAMES / POLICY_NAMES /
+    # SERVE_SCALES keys: importing the serve subsystem here would slow
+    # every CLI invocation ~3x, so the registries are not imported and
+    # tests/test_cli.py asserts these stay in lockstep instead.
+    serve.add_argument("--scenario", default="bursty",
+                       choices=("constant", "bursty", "diurnal"))
+    serve.add_argument("--policy", default="all",
+                       choices=("all", "static", "slo", "queue"))
+    serve.add_argument("--scale", default="smoke",
+                       choices=("default", "smoke"))
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the reports as JSON",
     )
     return parser
 
 
-def main(argv=None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] == "bench":
-        from .bench import main as bench_main
-
-        return bench_main(argv[1:])
-    args = _build_parser().parse_args(argv)
+def _cmd_list() -> int:
     from .experiments import ALL_EXPERIMENTS
-    from . import rng
 
-    if args.command == "list":
-        for name in ALL_EXPERIMENTS:
-            print(name)
-        return 0
+    for name in ALL_EXPERIMENTS:
+        print(name)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from . import rng
+    from .experiments import ALL_EXPERIMENTS
 
     names = (
         list(ALL_EXPERIMENTS) if args.experiment == "all"
@@ -64,6 +94,42 @@ def main(argv=None) -> int:
         print(result.to_text())
         print()
     return 0
+
+
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import format_reports, run_serve_sim
+
+    reports = run_serve_sim(
+        scenario=args.scenario, policy=args.policy,
+        scale=args.scale, seed=args.seed,
+    )
+    print(format_reports(reports))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(
+                [r.to_json_dict() for r in reports], handle,
+                indent=2, sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "bench":
+        from .bench.perf import run_from_args
+
+        return run_from_args(args)
+    if args.command == "serve-sim":
+        return _cmd_serve_sim(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
 
 
 if __name__ == "__main__":

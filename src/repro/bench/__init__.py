@@ -6,18 +6,22 @@ See :mod:`repro.bench.perf` for the op registry and
 
 from .perf import (
     PRE_PR_BASELINE_S,
+    add_arguments,
     check_regressions,
     load_baseline,
     main,
+    run_from_args,
     run_suite,
     write_results,
 )
 
 __all__ = [
     "PRE_PR_BASELINE_S",
+    "add_arguments",
     "check_regressions",
     "load_baseline",
     "main",
+    "run_from_args",
     "run_suite",
     "write_results",
 ]

@@ -41,7 +41,9 @@ from .. import rng as rng_mod
 __all__ = [
     "PRE_PR_BASELINE_S",
     "REGRESSION_FACTOR",
+    "add_arguments",
     "run_suite",
+    "run_from_args",
     "write_results",
     "load_baseline",
     "check_regressions",
@@ -82,16 +84,20 @@ class BenchScale:
     width_mult: float
     batch_size: int
     mapper_generations: int
+    serve_requests: int = 96
+    serve_repeats: int = 3
 
 
 BENCH_SCALES = {
     "smoke": BenchScale(
         name="smoke", conv_repeats=5, step_repeats=3, mapper_repeats=3,
         width_mult=0.5, batch_size=16, mapper_generations=6,
+        serve_requests=96, serve_repeats=3,
     ),
     "default": BenchScale(
         name="default", conv_repeats=9, step_repeats=5, mapper_repeats=3,
         width_mult=1.0, batch_size=32, mapper_generations=12,
+        serve_requests=320, serve_repeats=3,
     ),
 }
 
@@ -237,6 +243,66 @@ def _bench_automapper(scale: BenchScale) -> Dict[str, Dict[str, float]]:
     return {"automapper_alexnet_search": {"median_s": fast_s, "reference_s": ref_s}}
 
 
+def _bench_serve(scale: BenchScale) -> Dict[str, Dict[str, float]]:
+    """Serving layer: bursty serve-sim end to end + checkpoint round-trip.
+
+    ``serve_sim_bursty_slo`` times the full request path — traffic
+    admission, micro-batch coalescing, SLO-adaptive precision switching
+    and the real batched forwards — on a fixed bursty arrival trace.
+    The reference run disables the conv fast paths and quantised-weight
+    cache, pricing the same simulation on the pre-fast-engine kernels.
+    """
+    import dataclasses
+    import shutil
+    import tempfile
+
+    from ..quant import weight_cache
+    from ..serve import (
+        load_checkpoint,
+        make_engine,
+        prepare_simulation,
+        save_checkpoint,
+        simulate,
+    )
+    from ..serve.simulator import SERVE_SCALES
+    from ..tensor import fast_conv
+
+    rng_mod.set_seed(2021)
+    serve_scale = dataclasses.replace(
+        SERVE_SCALES["smoke"], num_requests=scale.serve_requests
+    )
+    # Same setup path as `repro serve-sim`, so this op tracks exactly
+    # what the CLI runs.
+    fixture = prepare_simulation("bursty", serve_scale)
+
+    def run_sim():
+        simulate(make_engine(fixture, "slo"), fixture.requests)
+
+    def run_sim_reference():
+        with fast_conv(False), weight_cache(False):
+            run_sim()
+
+    ops: Dict[str, Dict[str, float]] = {}
+    fast_s = _median_seconds(run_sim, scale.serve_repeats)
+    ref_s = _median_seconds(run_sim_reference, scale.serve_repeats)
+    ops["serve_sim_bursty_slo"] = {"median_s": fast_s, "reference_s": ref_s}
+
+    tmp = tempfile.mkdtemp(prefix="repro-bench-ckpt-")
+    try:
+        base = os.path.join(tmp, "model")
+
+        def roundtrip():
+            save_checkpoint(fixture.sp_net, fixture.config, base)
+            load_checkpoint(base)
+
+        ops["serve_checkpoint_roundtrip"] = {
+            "median_s": _median_seconds(roundtrip, scale.serve_repeats)
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return ops
+
+
 # ----------------------------------------------------------------------
 # Suite driver
 # ----------------------------------------------------------------------
@@ -254,6 +320,7 @@ def run_suite(scale: str = "smoke") -> Dict:
     # large live heap.
     ops.update(_bench_conv_kernels(cfg))
     ops.update(_bench_automapper(cfg))
+    ops.update(_bench_serve(cfg))
     ops.update(_bench_cdt_step(cfg))
     gc.collect()
     for name, entry in ops.items():
@@ -305,11 +372,13 @@ def check_regressions(
     return failures
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro bench",
-        description="run the tracked perf suite and write BENCH_perf.json",
-    )
+def add_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the bench options to ``parser``.
+
+    Shared between the standalone ``scripts/bench.py`` parser and the
+    ``python -m repro bench`` subparser, so ``repro bench --help``
+    renders through the ordinary argparse plumbing.
+    """
     parser.add_argument("--scale", default="smoke", choices=sorted(BENCH_SCALES))
     parser.add_argument("--output", default="BENCH_perf.json")
     parser.add_argument(
@@ -324,8 +393,22 @@ def main(argv=None) -> int:
         "--factor", type=float, default=REGRESSION_FACTOR,
         help="fail when any op is this many times slower than baseline",
     )
-    args = parser.parse_args(argv)
+    return parser
 
+
+def main(argv=None) -> int:
+    parser = add_arguments(
+        argparse.ArgumentParser(
+            prog="repro bench",
+            description="run the tracked perf suite and write BENCH_perf.json",
+        )
+    )
+    args = parser.parse_args(argv)
+    return run_from_args(args)
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute the suite from parsed bench arguments."""
     results = run_suite(args.scale)
     write_results(results, args.output)
     print(f"wrote {args.output}")

@@ -28,11 +28,23 @@ class Parameter(Tensor):
 class Module:
     """Base class with automatic parameter / buffer / submodule registry."""
 
+    # Global structural epoch, bumped whenever any module registers (or
+    # replaces) a submodule anywhere.  Callers that cache traversal
+    # results — e.g. SwitchablePrecisionNetwork's switchable-layer list —
+    # compare a remembered epoch against :meth:`structure_epoch` to learn
+    # whether any model surgery happened since, without walking the tree.
+    _STRUCTURE_EPOCH = 0
+
     def __init__(self):
         object.__setattr__(self, "_parameters", {})
         object.__setattr__(self, "_buffers", {})
         object.__setattr__(self, "_modules", {})
         object.__setattr__(self, "training", True)
+
+    @staticmethod
+    def structure_epoch() -> int:
+        """Current global module-tree structure epoch."""
+        return Module._STRUCTURE_EPOCH
 
     # ------------------------------------------------------------------
     # Registration
@@ -40,13 +52,35 @@ class Module:
     def __setattr__(self, name: str, value) -> None:
         if isinstance(value, Parameter):
             self._parameters[name] = value
-            self._modules.pop(name, None)
+            if self._modules.pop(name, None) is not None:
+                Module._STRUCTURE_EPOCH += 1
             self._buffers.pop(name, None)
         elif isinstance(value, Module):
             self._modules[name] = value
             self._parameters.pop(name, None)
             self._buffers.pop(name, None)
+            Module._STRUCTURE_EPOCH += 1
+        elif getattr(self, "_modules", None) is not None:
+            # Overwriting registered state with a plain value detaches it
+            # from the tree (``self.branch = None`` removes the child;
+            # likewise a parameter).  A registered buffer assigned a new
+            # array stays a buffer — layers swap BN statistics wholesale.
+            if self._modules.pop(name, None) is not None:
+                Module._STRUCTURE_EPOCH += 1
+            self._parameters.pop(name, None)
+            if name in self._buffers:
+                if isinstance(value, np.ndarray):
+                    self._buffers[name] = value
+                else:
+                    del self._buffers[name]
         object.__setattr__(self, name, value)
+
+    def __delattr__(self, name: str) -> None:
+        if self._modules.pop(name, None) is not None:
+            Module._STRUCTURE_EPOCH += 1
+        self._parameters.pop(name, None)
+        self._buffers.pop(name, None)
+        object.__delattr__(self, name)
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
         """Register non-trainable persistent state (e.g. BN running stats).
@@ -153,50 +187,99 @@ class Module:
         return sum(p.size for p in self.parameters())
 
 
-class Sequential(Module):
+class _SlotContainer(Module):
+    """Shared machinery for list-like containers (Sequential, ModuleList).
+
+    Entries live both in the registry (as ``<prefix><i>`` attributes, so
+    traversal/serialisation see them) and in an ordered execution list.
+    The two views are kept in lockstep: replacing a slot — by index or by
+    its attribute name — updates both, so model surgery on containers is
+    as safe as on plain attributes.
+    """
+
+    _SLOT_PREFIX = "slot"
+
+    def _entries(self) -> List[Module]:
+        return self.__dict__.setdefault("_slot_entries", [])
+
+    def _append_entry(self, module: Module) -> None:
+        entries = self._entries()
+        setattr(self, f"{self._SLOT_PREFIX}{len(entries)}", module)
+        entries.append(module)
+
+    def _slot_index(self, name: str) -> Optional[int]:
+        prefix = self._SLOT_PREFIX
+        if name.startswith(prefix) and name[len(prefix):].isdigit():
+            index = int(name[len(prefix):])
+            if index < len(self._entries()):
+                return index
+        return None
+
+    def __setattr__(self, name: str, value) -> None:
+        # Keep the execution list in sync when a registered slot is
+        # replaced via its attribute name (skipped during construction,
+        # where the slot index doesn't exist yet).  A slot can only be
+        # replaced by another Module — an ordered chain has no holes.
+        index = self._slot_index(name)
+        if index is not None:
+            if not isinstance(value, Module):
+                raise TypeError(
+                    f"cannot detach container slot {name!r}; assign a "
+                    f"replacement Module instead"
+                )
+            self._entries()[index] = value
+        super().__setattr__(name, value)
+
+    def __delattr__(self, name: str) -> None:
+        if self._slot_index(name) is not None:
+            raise TypeError(
+                f"cannot delete container slot {name!r}; assign a "
+                f"replacement Module instead"
+            )
+        super().__delattr__(name)
+
+    def __setitem__(self, index: int, module: Module) -> None:
+        if not isinstance(module, Module):
+            raise TypeError(f"can only assign Modules, got {module!r}")
+        index = range(len(self._entries()))[index]  # normalise negatives
+        setattr(self, f"{self._SLOT_PREFIX}{index}", module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._entries())
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def __getitem__(self, index: int) -> Module:
+        return self._entries()[index]
+
+
+class Sequential(_SlotContainer):
     """Chain of modules applied in order."""
+
+    _SLOT_PREFIX = "layer"
 
     def __init__(self, *layers: Module):
         super().__init__()
-        self._layers = []
-        for i, layer in enumerate(layers):
-            setattr(self, f"layer{i}", layer)
-            self._layers.append(layer)
-
-    def __iter__(self) -> Iterator[Module]:
-        return iter(self._layers)
-
-    def __len__(self) -> int:
-        return len(self._layers)
-
-    def __getitem__(self, index: int) -> Module:
-        return self._layers[index]
+        for layer in layers:
+            self._append_entry(layer)
 
     def forward(self, x):
-        for layer in self._layers:
+        for layer in self._entries():
             x = layer(x)
         return x
 
 
-class ModuleList(Module):
+class ModuleList(_SlotContainer):
     """List container whose entries are registered as submodules."""
+
+    _SLOT_PREFIX = "item"
 
     def __init__(self, modules=()):
         super().__init__()
-        self._items: List[Module] = []
         for module in modules:
             self.append(module)
 
     def append(self, module: Module) -> "ModuleList":
-        setattr(self, f"item{len(self._items)}", module)
-        self._items.append(module)
+        self._append_entry(module)
         return self
-
-    def __iter__(self) -> Iterator[Module]:
-        return iter(self._items)
-
-    def __len__(self) -> int:
-        return len(self._items)
-
-    def __getitem__(self, index: int) -> Module:
-        return self._items[index]

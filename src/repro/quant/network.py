@@ -83,11 +83,13 @@ class SwitchablePrecisionNetwork(Module):
             raise ValueError("bit_widths must be non-empty")
         self.model = model
         self.bit_widths = tuple(sort_bitwidths(bit_widths))
-        # Collected once: the trainers switch bit-widths N times per
-        # batch, and re-walking the module tree each time dominated
-        # set_bitwidth's cost.  Models are structurally frozen once
-        # wrapped (call _refresh_switchable after any surgery).
-        self._switchable = collect_switchable_layers(model)
+        # Collected once, then kept fresh via the global structure epoch:
+        # the trainers switch bit-widths N times per batch, and re-walking
+        # the module tree each time dominated set_bitwidth's cost.  The
+        # epoch comparison in _switchable_layers makes the cache
+        # self-invalidating under model surgery (module added/replaced
+        # anywhere), at the cost of one integer compare per switch.
+        self._refresh_switchable()
         if not self._switchable:
             raise ValueError(
                 "model has no switchable layers; build it with a "
@@ -99,6 +101,20 @@ class SwitchablePrecisionNetwork(Module):
     def _refresh_switchable(self) -> None:
         """Re-scan the wrapped model after structural changes."""
         self._switchable = collect_switchable_layers(self.model)
+        self._structure_epoch = Module.structure_epoch()
+
+    def _switchable_layers(self) -> tuple:
+        """Cached switchable-layer list, re-scanned after model surgery."""
+        if self._structure_epoch != Module.structure_epoch():
+            self._refresh_switchable()
+        # Checked on every switch (not only right after a re-scan) so the
+        # error keeps firing instead of degrading into a silent no-op.
+        if not self._switchable:
+            raise RuntimeError(
+                "model surgery removed every switchable layer; "
+                "a SwitchablePrecisionNetwork needs at least one"
+            )
+        return self._switchable
 
     @property
     def lowest(self) -> BitSpec:
@@ -112,7 +128,7 @@ class SwitchablePrecisionNetwork(Module):
     def set_bitwidth(self, bits: BitSpec) -> None:
         if bits not in self.bit_widths:
             raise ValueError(f"{bits} not in candidate set {self.bit_widths}")
-        for layer in self._switchable:
+        for layer in self._switchable_layers():
             layer.set_bitwidth(bits)
         self._active = bits
 

@@ -1,0 +1,84 @@
+"""Serving runtime for switchable-precision networks (deployment layer).
+
+What InstantNet trains, this package serves: checkpoint I/O and a named
+model registry for persistence, a micro-batched
+:class:`~repro.serve.engine.InferenceEngine` whose per-batch bit-width
+is picked by a pluggable
+:class:`~repro.serve.policies.PrecisionController`, and a deterministic
+traffic simulator (:mod:`repro.serve.simulator`,
+``python -m repro serve-sim``) that replays constant / bursty / diurnal
+arrival scenarios against the engine using the hardware cost model's
+latency estimates as the service-time oracle.
+"""
+
+from .checkpoint import (
+    MODEL_BUILDERS,
+    SPNetConfig,
+    build_sp_net,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .engine import (
+    BatchRecord,
+    BitLatencyModel,
+    EngineStats,
+    InferenceEngine,
+    InferenceRequest,
+    InferenceResult,
+    PolicyInputs,
+)
+from .policies import (
+    POLICY_NAMES,
+    LatencySLOPolicy,
+    PrecisionController,
+    QueueDepthPolicy,
+    StaticPolicy,
+    make_policy,
+)
+from .registry import ModelRegistry
+from .simulator import (
+    SCENARIO_NAMES,
+    SERVE_SCALES,
+    ServeReport,
+    ServeScale,
+    SimFixture,
+    format_reports,
+    generate_requests,
+    make_engine,
+    prepare_simulation,
+    run_serve_sim,
+    simulate,
+)
+
+__all__ = [
+    "MODEL_BUILDERS",
+    "SPNetConfig",
+    "build_sp_net",
+    "load_checkpoint",
+    "save_checkpoint",
+    "BatchRecord",
+    "BitLatencyModel",
+    "EngineStats",
+    "InferenceEngine",
+    "InferenceRequest",
+    "InferenceResult",
+    "PolicyInputs",
+    "POLICY_NAMES",
+    "LatencySLOPolicy",
+    "PrecisionController",
+    "QueueDepthPolicy",
+    "StaticPolicy",
+    "make_policy",
+    "ModelRegistry",
+    "SCENARIO_NAMES",
+    "SERVE_SCALES",
+    "ServeReport",
+    "ServeScale",
+    "SimFixture",
+    "format_reports",
+    "generate_requests",
+    "make_engine",
+    "prepare_simulation",
+    "run_serve_sim",
+    "simulate",
+]

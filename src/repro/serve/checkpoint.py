@@ -1,0 +1,175 @@
+"""Checkpoint I/O for switchable-precision networks.
+
+A checkpoint is two sibling files sharing one base path:
+
+* ``<base>.npz``  — every parameter and buffer of the wrapped model,
+  saved under its dotted ``state_dict`` name;
+* ``<base>.json`` — metadata: the candidate bit-width set, the model
+  factory configuration needed to rebuild an identical topology
+  (:class:`SPNetConfig`), and a schema version.
+
+``load_checkpoint`` rebuilds the model from the JSON config, loads the
+arrays, and returns a :class:`~repro.quant.SwitchablePrecisionNetwork`
+whose outputs match the saved network bit-for-bit at every candidate
+bit-width — the property the serving layer depends on to swap models in
+and out of memory without re-validation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..nn.models import mobilenet_v2, resnet8, resnet18, resnet38, resnet74
+from ..quant import SwitchableFactory, SwitchablePrecisionNetwork
+from ..quant.layers import BitSpec
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "MODEL_BUILDERS",
+    "SPNetConfig",
+    "build_sp_net",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+CHECKPOINT_SCHEMA = 1
+
+# Model zoo entries a checkpoint may name.  Builders share the
+# (num_classes, factory, width_mult) calling convention; MobileNetV2
+# additionally takes its input-resolution setting.
+MODEL_BUILDERS = {
+    "mobilenet_v2": mobilenet_v2,
+    "resnet8": resnet8,
+    "resnet18": resnet18,
+    "resnet38": resnet38,
+    "resnet74": resnet74,
+}
+
+
+@dataclass(frozen=True)
+class SPNetConfig:
+    """Everything needed to rebuild an SP-Net topology from scratch.
+
+    ``bit_widths`` entries are ints or ``(weight_bits, activation_bits)``
+    pairs, exactly as the quantisation layer accepts them.
+    """
+
+    model: str = "mobilenet_v2"
+    bit_widths: Tuple[BitSpec, ...] = (4, 8, 16)
+    num_classes: int = 10
+    width_mult: float = 1.0
+    image_size: int = 16
+    setting: str = "cifar"          # mobilenet_v2 only
+    quantizer: str = "sbm"
+    switchable_bn: bool = True
+    activation: str = "relu6"
+
+    def __post_init__(self):
+        if self.model not in MODEL_BUILDERS:
+            raise ValueError(
+                f"unknown model {self.model!r}; available: "
+                f"{sorted(MODEL_BUILDERS)}"
+            )
+        # Normalise list-of-lists (JSON round-trip) to the tuple forms
+        # the quant layers key their candidate sets on.
+        object.__setattr__(
+            self, "bit_widths", _normalize_bit_widths(self.bit_widths)
+        )
+
+    def to_json_dict(self) -> Dict:
+        payload = asdict(self)
+        payload["bit_widths"] = [
+            list(b) if isinstance(b, tuple) else b for b in self.bit_widths
+        ]
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict) -> "SPNetConfig":
+        return cls(**payload)
+
+
+def _normalize_bit_widths(bit_widths) -> Tuple[BitSpec, ...]:
+    normalized = []
+    for bits in bit_widths:
+        if isinstance(bits, (list, tuple)):
+            normalized.append((int(bits[0]), int(bits[1])))
+        else:
+            normalized.append(int(bits))
+    return tuple(normalized)
+
+
+def build_sp_net(config: SPNetConfig) -> SwitchablePrecisionNetwork:
+    """Construct a freshly initialised SP-Net matching ``config``."""
+    factory = SwitchableFactory(
+        config.bit_widths,
+        quantizer=config.quantizer,
+        switchable_bn=config.switchable_bn,
+        activation=config.activation,
+    )
+    builder = MODEL_BUILDERS[config.model]
+    kwargs = dict(
+        num_classes=config.num_classes,
+        factory=factory,
+        width_mult=config.width_mult,
+    )
+    if config.model == "mobilenet_v2":
+        kwargs["setting"] = config.setting
+    model = builder(**kwargs)
+    return SwitchablePrecisionNetwork(model, list(config.bit_widths))
+
+
+def _base_path(path: str) -> str:
+    """Strip a trailing .npz/.json so both spellings address one ckpt."""
+    for suffix in (".npz", ".json"):
+        if path.endswith(suffix):
+            return path[: -len(suffix)]
+    return path
+
+
+def save_checkpoint(
+    sp_net: SwitchablePrecisionNetwork, config: SPNetConfig, path: str
+) -> Tuple[str, str]:
+    """Write ``<base>.npz`` + ``<base>.json``; returns both paths."""
+    base = _base_path(path)
+    directory = os.path.dirname(base)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    state = sp_net.state_dict()
+    npz_path, json_path = base + ".npz", base + ".json"
+    np.savez(npz_path, **state)
+    meta = {
+        "schema": CHECKPOINT_SCHEMA,
+        "config": config.to_json_dict(),
+        "num_arrays": len(state),
+        "num_parameters": sp_net.num_parameters(),
+    }
+    with open(json_path, "w") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return npz_path, json_path
+
+
+def load_checkpoint(
+    path: str,
+) -> Tuple[SwitchablePrecisionNetwork, SPNetConfig]:
+    """Rebuild the model named by ``<base>.json`` and load ``<base>.npz``."""
+    base = _base_path(path)
+    json_path, npz_path = base + ".json", base + ".npz"
+    with open(json_path) as handle:
+        meta = json.load(handle)
+    if meta.get("schema") != CHECKPOINT_SCHEMA:
+        raise ValueError(
+            f"unsupported checkpoint schema {meta.get('schema')!r} "
+            f"in {json_path}"
+        )
+    config = SPNetConfig.from_json_dict(meta["config"])
+    sp_net = build_sp_net(config)
+    with np.load(npz_path) as arrays:
+        state = {name: arrays[name] for name in arrays.files}
+    sp_net.load_state_dict(state)
+    return sp_net, config

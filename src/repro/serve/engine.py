@@ -1,0 +1,408 @@
+"""Micro-batched inference engine with runtime precision switching.
+
+The engine is the request path of the serving layer:
+
+* requests enter a FIFO queue via :meth:`InferenceEngine.submit`;
+* :meth:`InferenceEngine.dispatch` coalesces pending requests into one
+  micro-batch — up to ``max_batch`` requests, released early only when
+  the batch is full, the oldest request has waited ``batch_timeout_s``,
+  or the caller flushes — and runs ONE switched forward pass for the
+  whole batch at the bit-width its :class:`PrecisionController` picks;
+* per-batch service time comes from a :class:`BitLatencyModel` priced by
+  the AutoMapper + analytical hardware cost model, so the engine's
+  notion of "how long did this batch take on the accelerator" is the
+  same latency estimate every other hardware experiment in the repo
+  uses, and is deterministic (simulations are exactly reproducible).
+
+The clock is injected: the traffic simulator drives a virtual clock,
+while a live deployment passes ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from collections import deque
+
+import numpy as np
+
+from ..quant import SwitchablePrecisionNetwork
+from ..quant.layers import BitSpec, normalize_bits
+from ..tensor import Tensor, no_grad
+
+__all__ = [
+    "InferenceRequest",
+    "InferenceResult",
+    "BatchRecord",
+    "BitLatencyModel",
+    "PolicyInputs",
+    "EngineStats",
+    "InferenceEngine",
+]
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One classification request entering the serving queue."""
+
+    request_id: int
+    arrival_s: float
+    image: np.ndarray                 # (C, H, W) float32
+    label: Optional[int] = None       # ground truth, for the accuracy proxy
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Completed request: prediction plus its latency decomposition."""
+
+    request_id: int
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    bits: BitSpec
+    prediction: int
+    label: Optional[int] = None
+
+    @property
+    def latency_s(self) -> float:
+        """Queue wait + service time (what the client experiences)."""
+        return self.finish_s - self.arrival_s
+
+    @property
+    def correct(self) -> Optional[bool]:
+        if self.label is None:
+            return None
+        return self.prediction == self.label
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One dispatched micro-batch."""
+
+    bits: BitSpec
+    start_s: float
+    finish_s: float
+    results: Tuple[InferenceResult, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.results)
+
+    @property
+    def service_s(self) -> float:
+        return self.finish_s - self.start_s
+
+
+class BitLatencyModel:
+    """Per-bit-width accelerator latency estimates for one model.
+
+    ``per_image_s[bits]`` is the cost-model latency of a single-image
+    forward at that precision; a micro-batch of ``n`` costs
+    ``batch_overhead_s + n * per_image_s[bits]`` (the overhead is the
+    per-dispatch fixed cost batching amortises: weight/bit-mode switch,
+    DMA setup, host round-trip).
+    """
+
+    def __init__(
+        self,
+        per_image_s: Dict[BitSpec, float],
+        batch_overhead_s: Optional[float] = None,
+    ):
+        if not per_image_s:
+            raise ValueError("per_image_s must be non-empty")
+        self.per_image_s = dict(per_image_s)
+        if batch_overhead_s is None:
+            # Default: one image's worth of highest-precision compute —
+            # enough that single-request dispatches are visibly wasteful.
+            batch_overhead_s = max(self.per_image_s.values())
+        self.batch_overhead_s = float(batch_overhead_s)
+
+    @classmethod
+    def from_cost_model(
+        cls,
+        sp_net: SwitchablePrecisionNetwork,
+        image_size: int,
+        device=None,
+        generations: int = 4,
+        seed_key: str = "serve-latency",
+        batch_overhead_s: Optional[float] = None,
+    ) -> "BitLatencyModel":
+        """Price every candidate bit-width with the AutoMapper.
+
+        One dataflow search per precision (identical layer shapes share
+        searches and warm-start each other across bit-widths), using the
+        latency metric — the same machinery behind Figs. 5-7.
+        """
+        from ..core.automapper import AutoMapper, AutoMapperConfig
+        from ..hardware import eyeriss_like_asic, extract_workloads
+        from dataclasses import replace as dc_replace
+
+        device = device or eyeriss_like_asic()
+        workloads = extract_workloads(
+            sp_net.model, image_size, batch=1, name="serve"
+        )
+        mapper = AutoMapper(
+            device,
+            AutoMapperConfig(
+                generations=generations, metric="latency",
+                seed_key=seed_key, warm_start=True,
+            ),
+        )
+        per_image: Dict[BitSpec, float] = {}
+        for bits in sp_net.bit_widths:
+            w_bits, a_bits = normalize_bits(bits)
+            effective = max(w_bits, a_bits)
+            priced = [dc_replace(w, bits=effective) for w in workloads]
+            result = mapper.search_network(priced, pipeline=False)
+            per_image[bits] = result.network_cost.latency_s
+        return cls(per_image, batch_overhead_s=batch_overhead_s)
+
+    def batch_latency_s(self, bits: BitSpec, batch_size: int) -> float:
+        if bits not in self.per_image_s:
+            raise KeyError(f"no latency estimate for bit-width {bits}")
+        return self.batch_overhead_s + batch_size * self.per_image_s[bits]
+
+    def fastest_bits(self) -> BitSpec:
+        return min(self.per_image_s, key=self.per_image_s.get)
+
+
+@dataclass(frozen=True)
+class PolicyInputs:
+    """Snapshot a :class:`PrecisionController` decides from.
+
+    ``queue_depth`` counts requests still waiting AFTER the batch being
+    dispatched was taken, i.e. the backlog the chosen bit-width must help
+    drain.  ``recent_p95_s`` is the p95 over the engine's sliding window
+    of completed-request latencies (None until anything completed).
+    """
+
+    now: float
+    batch_size: int
+    queue_depth: int
+    oldest_wait_s: float
+    recent_p95_s: Optional[float]
+    current_bits: BitSpec
+    bit_widths: Tuple[BitSpec, ...]
+    max_batch: int
+    latency_model: BitLatencyModel
+
+
+class EngineStats:
+    """Running aggregates: occupancy histogram, latencies, accuracy."""
+
+    def __init__(self, bit_widths: Sequence[BitSpec], window: int = 128):
+        self.bit_widths = tuple(bit_widths)
+        self.requests_per_bit: Dict[BitSpec, int] = {
+            b: 0 for b in self.bit_widths
+        }
+        self.batches_per_bit: Dict[BitSpec, int] = {
+            b: 0 for b in self.bit_widths
+        }
+        self.busy_s_per_bit: Dict[BitSpec, float] = {
+            b: 0.0 for b in self.bit_widths
+        }
+        self.labelled_per_bit: Dict[BitSpec, int] = {
+            b: 0 for b in self.bit_widths
+        }
+        self.correct_per_bit: Dict[BitSpec, int] = {
+            b: 0 for b in self.bit_widths
+        }
+        self.latencies_s: List[float] = []
+        self.recent: Deque[float] = deque(maxlen=window)
+        self.completed = 0
+        self.batches = 0
+        self.labelled = 0
+        self.correct = 0
+        self.switches = 0
+        self._last_bits: Optional[BitSpec] = None
+
+    def record_batch(self, batch: BatchRecord) -> None:
+        self.batches += 1
+        self.batches_per_bit[batch.bits] += 1
+        self.busy_s_per_bit[batch.bits] += batch.service_s
+        if self._last_bits is not None and batch.bits != self._last_bits:
+            self.switches += 1
+        self._last_bits = batch.bits
+        for result in batch.results:
+            self.completed += 1
+            self.requests_per_bit[batch.bits] += 1
+            self.latencies_s.append(result.latency_s)
+            self.recent.append(result.latency_s)
+            if result.label is not None:
+                hit = int(result.prediction == result.label)
+                self.labelled += 1
+                self.correct += hit
+                self.labelled_per_bit[batch.bits] += 1
+                self.correct_per_bit[batch.bits] += hit
+
+    def recent_p95_s(self) -> Optional[float]:
+        if not self.recent:
+            return None
+        return float(np.percentile(np.asarray(self.recent), 95))
+
+    def percentile_s(self, q: float) -> float:
+        if not self.latencies_s:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+    def accuracy(self) -> Optional[float]:
+        if not self.labelled:
+            return None
+        return self.correct / self.labelled
+
+    def mean_batch_size(self) -> float:
+        if not self.batches:
+            return 0.0
+        return self.completed / self.batches
+
+
+class InferenceEngine:
+    """Single-model serving engine: FIFO queue + micro-batch dispatch."""
+
+    def __init__(
+        self,
+        sp_net: SwitchablePrecisionNetwork,
+        controller,
+        latency_model: BitLatencyModel,
+        max_batch: int = 8,
+        batch_timeout_s: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+        stats_window: int = 128,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        missing = [
+            b for b in sp_net.bit_widths if b not in latency_model.per_image_s
+        ]
+        if missing:
+            raise ValueError(
+                f"latency model lacks estimates for bit-widths {missing}"
+            )
+        self.sp_net = sp_net
+        self.controller = controller
+        self.latency_model = latency_model
+        self.max_batch = int(max_batch)
+        if batch_timeout_s is None:
+            # Default release budget: the time one full batch takes at the
+            # highest precision — waiting longer than a batch's own
+            # service time to fill it can never pay off.
+            batch_timeout_s = latency_model.batch_latency_s(
+                sp_net.highest, self.max_batch
+            )
+        self.batch_timeout_s = float(batch_timeout_s)
+        self.clock = clock or time.monotonic
+        self.stats = EngineStats(sp_net.bit_widths, window=stats_window)
+        self._queue: Deque[InferenceRequest] = deque()
+        self._current_bits: BitSpec = sp_net.highest
+        sp_net.eval()
+        controller.attach(self)
+
+    # ------------------------------------------------------------------
+    # Queue
+    # ------------------------------------------------------------------
+    def submit(self, request: InferenceRequest) -> None:
+        self._queue.append(request)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def current_bits(self) -> BitSpec:
+        return self._current_bits
+
+    def next_release_s(self) -> Optional[float]:
+        """When the oldest pending request's timeout expires (None: idle)."""
+        if not self._queue:
+            return None
+        return self._queue[0].arrival_s + self.batch_timeout_s
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(
+        self, now: Optional[float] = None, flush: bool = False
+    ) -> Optional[BatchRecord]:
+        """Coalesce and run one micro-batch; None if nothing released.
+
+        A batch is released when it is full, when the oldest request has
+        waited out ``batch_timeout_s``, or when ``flush`` forces the
+        queue to drain (shutdown / end of simulation).
+        """
+        if now is None:
+            now = self.clock()
+        if not self._queue:
+            return None
+        full = len(self._queue) >= self.max_batch
+        # Same expression as next_release_s so the simulator can advance
+        # its clock exactly to the release instant without float drift
+        # leaving the comparison one ULP short.
+        expired = now >= self._queue[0].arrival_s + self.batch_timeout_s
+        if not (full or expired or flush):
+            return None
+
+        batch = [
+            self._queue.popleft()
+            for _ in range(min(self.max_batch, len(self._queue)))
+        ]
+        inputs = PolicyInputs(
+            now=now,
+            batch_size=len(batch),
+            queue_depth=len(self._queue),
+            oldest_wait_s=now - batch[0].arrival_s,
+            recent_p95_s=self.stats.recent_p95_s(),
+            current_bits=self._current_bits,
+            bit_widths=self.sp_net.bit_widths,
+            max_batch=self.max_batch,
+            latency_model=self.latency_model,
+        )
+        bits = self.controller.choose_bits(inputs)
+        if bits not in self.sp_net.bit_widths:
+            raise ValueError(
+                f"controller chose {bits} outside candidate set "
+                f"{self.sp_net.bit_widths}"
+            )
+        predictions = self._forward(batch, bits)
+        service_s = self.latency_model.batch_latency_s(bits, len(batch))
+        finish = now + service_s
+        results = tuple(
+            InferenceResult(
+                request_id=req.request_id,
+                arrival_s=req.arrival_s,
+                start_s=now,
+                finish_s=finish,
+                bits=bits,
+                prediction=int(pred),
+                label=req.label,
+            )
+            for req, pred in zip(batch, predictions)
+        )
+        record = BatchRecord(
+            bits=bits, start_s=now, finish_s=finish, results=results
+        )
+        self._current_bits = bits
+        self.stats.record_batch(record)
+        return record
+
+    def drain(self, now: Optional[float] = None) -> List[BatchRecord]:
+        """Flush every pending request (back-to-back batches)."""
+        if now is None:
+            now = self.clock()
+        records = []
+        while self._queue:
+            record = self.dispatch(now, flush=True)
+            records.append(record)
+            now = record.finish_s
+        return records
+
+    def _forward(
+        self, batch: List[InferenceRequest], bits: BitSpec
+    ) -> np.ndarray:
+        """One switched forward pass for the whole micro-batch."""
+        images = np.stack([req.image for req in batch]).astype(np.float32)
+        self.sp_net.set_bitwidth(bits)
+        with no_grad():
+            logits = self.sp_net(Tensor(images))
+        return np.argmax(logits.data, axis=1)

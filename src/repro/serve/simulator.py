@@ -1,0 +1,445 @@
+"""Deterministic traffic simulator + load generator for the serving layer.
+
+Arrival processes are generated from the repo's seeded RNG streams and
+service times come from the AutoMapper-priced
+:class:`~repro.serve.engine.BitLatencyModel`, so a simulation is a pure
+function of ``(seed, scenario, policy, scale)`` — bit-identical across
+runs and machines.  Forward passes are still executed for real on the
+synthetic dataset, which is what makes the accuracy proxy and the
+per-bit predictions honest rather than modelled.
+
+Scenarios (rates are expressed relative to the engine's capacity at its
+HIGHEST precision, so every scenario stresses any model the same way):
+
+* ``constant`` — Poisson arrivals at ~0.55x capacity: the steady state a
+  static deployment is sized for;
+* ``bursty``   — quiet Poisson background punctuated by bursts arriving
+  well above highest-precision capacity: the case InstantNet's
+  instantaneous switching exists for;
+* ``diurnal``  — sinusoidal rate sweeping from ~0.1x to ~1.1x capacity:
+  a day/night load curve compressed into one simulation.
+
+``python -m repro serve-sim`` runs one scenario under one or all
+policies and prints p50/p95/p99 latency, throughput, the per-bit-width
+occupancy histogram and the accuracy proxy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import rng as rng_mod
+from ..data.synthetic import SyntheticSpec, make_synthetic
+from ..quant.layers import BitSpec
+from .checkpoint import SPNetConfig, build_sp_net
+from .engine import BitLatencyModel, InferenceEngine, InferenceRequest
+from .policies import POLICY_NAMES, make_policy
+
+__all__ = [
+    "ServeScale",
+    "SERVE_SCALES",
+    "SCENARIO_NAMES",
+    "ServeReport",
+    "SimFixture",
+    "generate_requests",
+    "prepare_simulation",
+    "make_engine",
+    "simulate",
+    "run_serve_sim",
+    "format_reports",
+]
+
+SCENARIO_NAMES = ("constant", "bursty", "diurnal")
+
+
+@dataclass(frozen=True)
+class ServeScale:
+    """Model size and traffic volume for one simulation scale."""
+
+    name: str
+    num_requests: int
+    image_size: int
+    num_classes: int
+    width_mult: float
+    bit_widths: tuple
+    max_batch: int
+    mapper_generations: int
+    slo_batches: float = 2.5   # SLO as a multiple of one full-batch service
+    difficulty: float = 2.0
+
+
+SERVE_SCALES: Dict[str, ServeScale] = {
+    "smoke": ServeScale(
+        name="smoke", num_requests=240, image_size=12, num_classes=5,
+        width_mult=0.25, bit_widths=(4, 8, 16), max_batch=8,
+        mapper_generations=3,
+    ),
+    "default": ServeScale(
+        name="default", num_requests=1536, image_size=16, num_classes=10,
+        width_mult=0.5, bit_widths=(4, 8, 12, 16), max_batch=16,
+        mapper_generations=6,
+    ),
+}
+
+
+def get_serve_scale(scale) -> ServeScale:
+    if isinstance(scale, ServeScale):
+        return scale
+    try:
+        return SERVE_SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown serve scale {scale!r}; available: {sorted(SERVE_SCALES)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Traffic generation
+# ----------------------------------------------------------------------
+def _arrival_gaps(
+    scenario: str, n: int, capacity_rps: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-request interarrival gaps (seconds) for one scenario."""
+    if scenario == "constant":
+        rate = 0.55 * capacity_rps
+        return rng.exponential(1.0 / rate, size=n)
+    if scenario == "bursty":
+        # Cycles of a quiet trickle followed by a hammering burst: 24
+        # requests at 0.35x capacity, then 24 arriving at 4x capacity.
+        quiet, burst = 24, 24
+        rates = np.empty(n)
+        for i in range(n):
+            in_cycle = i % (quiet + burst)
+            rates[i] = (
+                0.35 * capacity_rps if in_cycle < quiet else 4.0 * capacity_rps
+            )
+        return rng.exponential(1.0, size=n) / rates
+    if scenario == "diurnal":
+        # Two "days" across the request stream; rate sweeps 0.1x-1.1x.
+        cycles = 2.0
+        phase = 2.0 * math.pi * cycles * np.arange(n) / max(n, 1)
+        rates = capacity_rps * (0.6 + 0.5 * np.sin(phase))
+        rates = np.maximum(rates, 0.1 * capacity_rps)
+        return rng.exponential(1.0, size=n) / rates
+    raise ValueError(
+        f"unknown scenario {scenario!r}; available: {sorted(SCENARIO_NAMES)}"
+    )
+
+
+def generate_requests(
+    scenario: str,
+    scale: ServeScale,
+    latency_model: BitLatencyModel,
+    highest_bits: BitSpec,
+    seed_key: str = "serve-traffic",
+) -> List[InferenceRequest]:
+    """Deterministic labelled request stream for one scenario.
+
+    Rates are anchored to the engine's full-batch throughput at its
+    highest precision, so "4x capacity" means the same pressure whatever
+    the model or device.
+    """
+    batch_s = latency_model.batch_latency_s(highest_bits, scale.max_batch)
+    capacity_rps = scale.max_batch / batch_s
+    rng = rng_mod.spawn_rng(f"{seed_key}-{scenario}")
+    gaps = _arrival_gaps(scenario, scale.num_requests, capacity_rps, rng)
+    arrivals = np.cumsum(gaps)
+    spec = SyntheticSpec(
+        name="serve",
+        num_classes=scale.num_classes,
+        image_size=scale.image_size,
+        difficulty=scale.difficulty,
+    )
+    dataset = make_synthetic(spec, scale.num_requests, f"traffic-{scenario}")
+    return [
+        InferenceRequest(
+            request_id=i,
+            arrival_s=float(arrivals[i]),
+            image=dataset.images[i],
+            label=int(dataset.labels[i]),
+        )
+        for i in range(scale.num_requests)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Simulation loop
+# ----------------------------------------------------------------------
+def simulate(
+    engine: InferenceEngine, requests: Sequence[InferenceRequest]
+) -> float:
+    """Drive the engine through the request stream on a virtual clock.
+
+    Single-server discrete-event loop: the engine serves one micro-batch
+    at a time; arrivals landing mid-service queue up behind it.  Returns
+    the virtual completion time of the last batch.
+    """
+    ordered = sorted(requests, key=lambda r: r.arrival_s)
+    n = len(ordered)
+    i = 0
+    now = 0.0
+
+    def admit(upto: float) -> int:
+        nonlocal i
+        while i < n and ordered[i].arrival_s <= upto:
+            engine.submit(ordered[i])
+            i += 1
+        return i
+
+    while i < n or engine.queue_depth:
+        if not engine.queue_depth:
+            now = max(now, ordered[i].arrival_s)
+            admit(now)
+        record = engine.dispatch(now, flush=(i >= n))
+        if record is not None:
+            now = record.finish_s
+            admit(now)
+            continue
+        # Nothing released: advance to whichever comes first, the oldest
+        # request's timeout expiry or the next arrival.
+        times = [t for t in (engine.next_release_s(),) if t is not None]
+        if i < n:
+            times.append(ordered[i].arrival_s)
+        now = max(now, min(times))
+        admit(now)
+    return now
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+@dataclass
+class ServeReport:
+    """Everything ``serve-sim`` prints for one (scenario, policy) run."""
+
+    scenario: str
+    policy: str
+    scale: str
+    num_requests: int
+    duration_s: float
+    throughput_rps: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    latency_mean_s: float
+    latency_max_s: float
+    slo_s: float
+    slo_violations: int
+    occupancy: Dict[str, int] = field(default_factory=dict)
+    batches: int = 0
+    mean_batch_size: float = 0.0
+    switches: int = 0
+    accuracy: Optional[float] = None
+    accuracy_per_bit: Dict[str, Optional[float]] = field(default_factory=dict)
+
+    def to_json_dict(self) -> Dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+def _bits_key(bits: BitSpec) -> str:
+    if isinstance(bits, tuple):
+        return f"W{bits[0]}A{bits[1]}"
+    return str(bits)
+
+
+def build_report(
+    scenario: str,
+    policy: str,
+    scale: ServeScale,
+    engine: InferenceEngine,
+    end_s: float,
+    slo_s: float,
+) -> ServeReport:
+    stats = engine.stats
+    latencies = np.asarray(stats.latencies_s)
+    duration = max(end_s, 1e-12)
+    accuracy_per_bit = {
+        _bits_key(b): (
+            stats.correct_per_bit[b] / stats.labelled_per_bit[b]
+            if stats.labelled_per_bit[b]
+            else None
+        )
+        for b in stats.bit_widths
+    }
+    return ServeReport(
+        scenario=scenario,
+        policy=policy,
+        scale=scale.name,
+        num_requests=stats.completed,
+        duration_s=float(end_s),
+        throughput_rps=stats.completed / duration,
+        latency_p50_s=stats.percentile_s(50),
+        latency_p95_s=stats.percentile_s(95),
+        latency_p99_s=stats.percentile_s(99),
+        latency_mean_s=float(latencies.mean()) if latencies.size else float("nan"),
+        latency_max_s=float(latencies.max()) if latencies.size else float("nan"),
+        slo_s=slo_s,
+        slo_violations=int((latencies > slo_s).sum()) if latencies.size else 0,
+        occupancy={
+            _bits_key(b): stats.requests_per_bit[b] for b in stats.bit_widths
+        },
+        batches=stats.batches,
+        mean_batch_size=stats.mean_batch_size(),
+        switches=stats.switches,
+        accuracy=stats.accuracy(),
+        accuracy_per_bit=accuracy_per_bit,
+    )
+
+
+def format_reports(reports: Sequence[ServeReport]) -> str:
+    """Aligned comparison table plus per-policy occupancy histograms."""
+    if not reports:
+        return "(no reports)"
+    header = (
+        f"{'policy':<8} {'reqs':>5} {'thru(r/s)':>10} {'p50(ms)':>8} "
+        f"{'p95(ms)':>8} {'p99(ms)':>8} {'slo-viol':>8} {'batches':>7} "
+        f"{'avg-b':>5} {'switch':>6} {'acc':>6}"
+    )
+    lines = [
+        f"serve-sim scenario={reports[0].scenario} scale={reports[0].scale} "
+        f"slo={reports[0].slo_s * 1e3:.3f}ms",
+        header,
+        "-" * len(header),
+    ]
+    for r in reports:
+        acc = f"{r.accuracy:.3f}" if r.accuracy is not None else "n/a"
+        lines.append(
+            f"{r.policy:<8} {r.num_requests:>5} {r.throughput_rps:>10.1f} "
+            f"{r.latency_p50_s * 1e3:>8.3f} {r.latency_p95_s * 1e3:>8.3f} "
+            f"{r.latency_p99_s * 1e3:>8.3f} {r.slo_violations:>8} "
+            f"{r.batches:>7} {r.mean_batch_size:>5.1f} {r.switches:>6} "
+            f"{acc:>6}"
+        )
+    lines.append("")
+    lines.append("per-bit occupancy (requests served at each bit-width):")
+    for r in reports:
+        occ = "  ".join(f"{k}:{v}" for k, v in r.occupancy.items())
+        lines.append(f"  {r.policy:<8} {occ}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# End-to-end entry point
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SimFixture:
+    """Everything a simulation run shares across policies."""
+
+    sp_net: object
+    config: SPNetConfig
+    scale: ServeScale
+    latency_model: BitLatencyModel
+    slo_s: float
+    requests: tuple
+
+
+def prepare_simulation(
+    scenario: str,
+    scale="smoke",
+    sp_net=None,
+    config: Optional[SPNetConfig] = None,
+) -> SimFixture:
+    """Build (or adopt) the model, price it, and generate the traffic.
+
+    The single setup path shared by :func:`run_serve_sim` and the perf
+    bench, so the tracked ``serve_sim_bursty_slo`` op measures exactly
+    what ``repro serve-sim`` runs.  A ``config`` alone customises the
+    freshly built model; an existing ``sp_net`` requires its
+    :class:`SPNetConfig` alongside.  Either way the config overrides the
+    scale's model fields (image size, class count, bit-widths) so the
+    traffic and the latency oracle match the served model.
+    """
+    import dataclasses
+
+    cfg = get_serve_scale(scale)
+    if scenario not in SCENARIO_NAMES:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; available: {sorted(SCENARIO_NAMES)}"
+        )
+    if config is None:
+        if sp_net is not None:
+            raise ValueError(
+                "pass the model's SPNetConfig along with sp_net so the "
+                "traffic matches its input shape and class count"
+            )
+        config = SPNetConfig(
+            model="mobilenet_v2",
+            bit_widths=cfg.bit_widths,
+            num_classes=cfg.num_classes,
+            width_mult=cfg.width_mult,
+            image_size=cfg.image_size,
+        )
+    if sp_net is None:
+        sp_net = build_sp_net(config)
+    # Traffic and the latency oracle always follow the served model's
+    # config (a no-op when the config was derived from the scale above).
+    cfg = dataclasses.replace(
+        cfg,
+        bit_widths=config.bit_widths,
+        num_classes=config.num_classes,
+        image_size=config.image_size,
+    )
+    latency_model = BitLatencyModel.from_cost_model(
+        sp_net, cfg.image_size, generations=cfg.mapper_generations
+    )
+    slo_s = cfg.slo_batches * latency_model.batch_latency_s(
+        sp_net.highest, cfg.max_batch
+    )
+    requests = tuple(
+        generate_requests(scenario, cfg, latency_model, sp_net.highest)
+    )
+    return SimFixture(
+        sp_net=sp_net, config=config, scale=cfg,
+        latency_model=latency_model, slo_s=slo_s, requests=requests,
+    )
+
+
+def make_engine(fixture: SimFixture, policy: str) -> InferenceEngine:
+    """Fresh engine + controller for one policy over a prepared fixture."""
+    controller = (
+        make_policy("slo", slo_s=fixture.slo_s) if policy == "slo"
+        else make_policy(policy)
+    )
+    return InferenceEngine(
+        fixture.sp_net,
+        controller,
+        fixture.latency_model,
+        max_batch=fixture.scale.max_batch,
+        clock=lambda: 0.0,
+    )
+
+
+def run_serve_sim(
+    scenario: str = "bursty",
+    policy: str = "all",
+    scale="smoke",
+    seed: int = 0,
+    sp_net=None,
+    config: Optional[SPNetConfig] = None,
+) -> List[ServeReport]:
+    """Build model + latency table once, then simulate each policy.
+
+    Every policy sees the identical request stream (same arrivals, same
+    images), so the reports are directly comparable.  Pass ``sp_net`` +
+    ``config`` to serve an existing (e.g. checkpoint-loaded) model
+    instead of a freshly initialised one.
+    """
+    rng_mod.set_seed(seed)
+    fixture = prepare_simulation(scenario, scale, sp_net=sp_net, config=config)
+    policies = list(POLICY_NAMES) if policy == "all" else [policy]
+    reports = []
+    for name in policies:
+        engine = make_engine(fixture, name)
+        end_s = simulate(engine, fixture.requests)
+        reports.append(
+            build_report(
+                scenario, name, fixture.scale, engine, end_s, fixture.slo_s
+            )
+        )
+    return reports

@@ -1,0 +1,102 @@
+"""CLI smoke paths: exit codes and help plumbing for every subcommand."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+class TestList:
+    def test_exit_code_and_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "table1" in out and "fig7" in out
+
+    def test_module_invocation(self):
+        import os
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 0
+        assert "table1" in proc.stdout
+
+
+class TestRun:
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["run", "nosuch"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "table1", "--scale", "galactic"])
+        assert excinfo.value.code == 2
+
+    @pytest.mark.slow
+    def test_smoke_run_exit_code(self, capsys):
+        assert main(["run", "fig5", "--scale", "smoke"]) == 0
+        assert "fig5" in capsys.readouterr().out
+
+
+class TestHelp:
+    def test_top_level_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "serve-sim" in out and "bench" in out
+
+    def test_bench_help_renders_options(self, capsys):
+        """`repro bench --help` must go through argparse, options included."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--update-baseline" in out
+        assert "--factor" in out
+
+    def test_serve_sim_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve-sim", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--scenario" in out and "--policy" in out
+
+    def test_no_command_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+
+class TestServeSimChoicesSync:
+    """The serve-sim subparser hardcodes its choice tuples (importing the
+    serve subsystem at parser-build time would slow every CLI call ~3x);
+    this test pins them to the serve package's registries."""
+
+    def test_choices_match_serve_registries(self):
+        import argparse
+
+        from repro.__main__ import _build_parser
+        from repro.serve.policies import POLICY_NAMES
+        from repro.serve.simulator import SCENARIO_NAMES, SERVE_SCALES
+
+        parser = _build_parser()
+        subparsers = next(
+            a for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        serve = subparsers.choices["serve-sim"]
+        choices = {a.dest: a.choices for a in serve._actions
+                   if a.choices is not None}
+        assert set(choices["scenario"]) == set(SCENARIO_NAMES)
+        assert set(choices["policy"]) == {"all", *POLICY_NAMES}
+        assert set(choices["scale"]) == set(SERVE_SCALES)

@@ -143,3 +143,103 @@ class TestContainers:
     def test_forward_not_implemented(self):
         with pytest.raises(NotImplementedError):
             Module()(1)
+
+
+class TestDeregistration:
+    """Overwriting registered state with plain values must detach it."""
+
+    def test_module_overwritten_with_none_is_deregistered(self):
+        tree = Tree()
+        tree.a = None
+        assert "a" not in tree._modules
+        assert all(not n.startswith("a.") for n, _ in tree.named_parameters())
+
+    def test_parameter_overwritten_with_plain_value_is_deregistered(self):
+        leaf = Leaf()
+        leaf.w = None
+        assert dict(leaf.named_parameters()) == {}
+        assert leaf.state_dict() == {}
+
+    def test_buffer_reassigned_array_stays_registered(self):
+        bn = BatchNorm2d(3)
+        fresh = np.full(3, 7.0, dtype=np.float32)
+        bn.running_mean = fresh
+        assert bn._buffers["running_mean"] is fresh
+        assert np.array_equal(bn.state_dict()["running_mean"], fresh)
+
+    def test_delattr_cleans_registries(self):
+        tree = Tree()
+        del tree.b
+        assert "b" not in tree._modules
+        leaf = Leaf()
+        del leaf.w
+        assert dict(leaf.named_parameters()) == {}
+
+    def test_structure_epoch_bumps_on_surgery(self):
+        tree = Tree()
+        before = Module.structure_epoch()
+        tree.a = None
+        assert Module.structure_epoch() > before
+
+    def test_epoch_unchanged_by_plain_attribute_writes(self):
+        tree = Tree()
+        before = Module.structure_epoch()
+        tree.some_flag = 1
+        tree.some_flag = 2
+        assert Module.structure_epoch() == before
+
+
+class TestContainerSlotAssignment:
+    """Index assignment keeps registry and execution list in lockstep."""
+
+    def test_sequential_setitem(self):
+        seq = Sequential(Linear(2, 2), Linear(2, 2))
+        new = Linear(2, 2)
+        seq[1] = new
+        assert seq[1] is new
+        assert seq._modules["layer1"] is new
+        x = Tensor(np.ones((1, 2), dtype=np.float32))
+        assert seq(x).shape == (1, 2)  # forward runs the updated chain
+
+    def test_sequential_setitem_negative_index(self):
+        seq = Sequential(Linear(2, 2), Linear(2, 2))
+        new = Linear(2, 2)
+        seq[-1] = new
+        assert seq[1] is new
+
+    def test_sequential_setitem_rejects_non_module(self):
+        seq = Sequential(Linear(2, 2))
+        with pytest.raises(TypeError):
+            seq[0] = 42
+
+    def test_sequential_attr_assignment_syncs_execution_list(self):
+        seq = Sequential(Linear(2, 2), Linear(2, 2))
+        new = Linear(2, 2)
+        seq.layer0 = new
+        assert seq[0] is new
+
+    def test_module_list_setitem(self):
+        ml = ModuleList([Linear(2, 2), Linear(2, 2)])
+        new = Linear(2, 2)
+        ml[0] = new
+        assert ml[0] is new
+        assert ml._modules["item0"] is new
+
+    def test_container_slot_cannot_be_detached(self):
+        """Holes make no sense in an ordered chain: detaching a slot is
+        rejected instead of desynchronising registry and execution list."""
+        seq = Sequential(Linear(2, 2), Linear(2, 2))
+        with pytest.raises(TypeError, match="detach"):
+            seq.layer0 = None
+        with pytest.raises(TypeError, match="delete"):
+            del seq.layer1
+        # Both views untouched after the rejected surgery.
+        assert len(seq) == 2
+        assert set(seq._modules) == {"layer0", "layer1"}
+
+    def test_container_non_slot_attributes_still_writable(self):
+        seq = Sequential(Linear(2, 2))
+        seq.note = "ok"          # plain attribute, not a slot
+        seq.layer9 = None        # no such slot: plain attribute too
+        assert seq.note == "ok"
+        assert len(seq) == 1

@@ -159,3 +159,117 @@ class TestSwitchableNetwork:
         err8 = np.abs(outs[8] - outs[32]).mean()
         err16 = np.abs(outs[16] - outs[32]).mean()
         assert err4 > err8 > err16
+
+
+class TestSwitchableCacheInvalidation:
+    """Regression: the cached switchable-layer list must survive surgery.
+
+    The wrapper collects switchable layers once for speed; replacing or
+    adding a child module after wrapping used to leave the cache stale,
+    silently skipping the new layer on every subsequent switch.
+    """
+
+    def _small_net(self, bits=(4, 8)):
+        fac = SwitchableFactory(list(bits), quantizer="sbm")
+        model = models.resnet8(num_classes=3, factory=fac, width_mult=0.25)
+        return SwitchablePrecisionNetwork(model, list(bits)), fac
+
+    def test_replaced_layer_is_switched(self):
+        sp, fac = self._small_net()
+        block = sp.model.stages[0]
+        old = block.conv1.conv  # a QuantConv2d built by the factory
+        replacement = fac.conv(
+            old.in_channels, old.out_channels, old.kernel_size,
+            stride=old.stride, padding=old.padding,
+        )
+        block.conv1.conv = replacement
+        sp.set_bitwidth(4)
+        assert replacement.active_bits == 4
+        sp.set_bitwidth(8)
+        assert replacement.active_bits == 8
+
+    def test_added_layer_is_switched(self):
+        sp, fac = self._small_net()
+        extra = fac.conv(3, 3, 1)
+        sp.model.extra_branch = extra
+        sp.set_bitwidth(4)
+        assert extra.active_bits == 4
+
+    def test_removed_layer_is_no_longer_switched(self):
+        sp, fac = self._small_net()
+        extra = fac.conv(3, 3, 1)
+        sp.model.extra_branch = extra
+        sp.set_bitwidth(4)
+        sp.model.extra_branch = None  # surgery: detach the branch
+        sp.set_bitwidth(8)
+        assert extra.active_bits == 4  # detached layer left untouched
+        assert all(name != "extra_branch"
+                   for name, _ in sp.model.named_parameters())
+
+    def test_deleted_layer_is_no_longer_switched(self):
+        sp, fac = self._small_net()
+        extra = fac.conv(3, 3, 1)
+        sp.model.extra_branch = extra
+        sp.set_bitwidth(4)
+        del sp.model.extra_branch
+        sp.set_bitwidth(8)
+        assert extra.active_bits == 4
+
+    def test_sequential_slot_replacement_switches_and_runs_new_layer(self):
+        """Container surgery must update BOTH the registry (switching,
+        serialisation) and the execution list the forward pass runs."""
+        sp, fac = self._small_net()
+        stages = sp.model.stages
+        replacement = fac.conv(
+            stages[0].conv1.conv.in_channels,
+            stages[0].conv1.conv.in_channels, 1,
+        )
+
+        from repro.nn.module import Module
+
+        class PassThrough(Module):
+            def __init__(self, conv):
+                super().__init__()
+                self.conv = conv
+
+            def forward(self, x):
+                return self.conv(x)
+
+        block = PassThrough(replacement)
+        stages[0] = block
+        assert stages[0] is block                 # execution list updated
+        assert stages._modules["layer0"] is block  # registry updated
+        sp.set_bitwidth(4)
+        assert replacement.active_bits == 4
+
+    def test_manual_refresh_still_works(self):
+        sp, fac = self._small_net()
+        extra = fac.conv(3, 3, 1)
+        sp.model.extra_branch = extra
+        sp._refresh_switchable()
+        sp.set_bitwidth(4)
+        assert extra.active_bits == 4
+
+    def test_removing_every_switchable_layer_fails_loudly(self):
+        bits = (4, 8)
+        fac = SwitchableFactory(list(bits), quantizer="sbm")
+        conv = fac.conv(3, 4, 3, padding=1)
+
+        from repro.nn.module import Module
+        from repro.nn.layers import Conv2d
+
+        class Wrap(Module):
+            def __init__(self):
+                super().__init__()
+                self.conv = conv
+
+            def forward(self, x):
+                return self.conv(x)
+
+        sp = SwitchablePrecisionNetwork(Wrap(), list(bits))
+        sp.model.conv = Conv2d(3, 4, 3, padding=1)  # no longer switchable
+        with pytest.raises(RuntimeError, match="switchable"):
+            sp.set_bitwidth(4)
+        # ...and keeps failing loudly, not just on the first switch.
+        with pytest.raises(RuntimeError, match="switchable"):
+            sp.set_bitwidth(8)

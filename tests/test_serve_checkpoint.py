@@ -1,0 +1,152 @@
+"""Checkpoint I/O + model registry: rebuild must be bit-for-bit."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    ModelRegistry,
+    SPNetConfig,
+    build_sp_net,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.tensor import Tensor, no_grad
+
+
+def small_config(**overrides):
+    base = dict(
+        model="resnet8", bit_widths=(4, 8, 16), num_classes=3,
+        width_mult=0.25, image_size=8,
+    )
+    base.update(overrides)
+    return SPNetConfig(**base)
+
+
+def outputs_at_every_bit(sp_net, x):
+    sp_net.eval()
+    with no_grad():
+        return {bits: sp_net(Tensor(x), bits=bits).data.copy()
+                for bits in sp_net.bit_widths}
+
+
+class TestSPNetConfig:
+    def test_json_round_trip_preserves_bit_pairs(self):
+        cfg = small_config(bit_widths=(4, (2, 32), 8))
+        again = SPNetConfig.from_json_dict(cfg.to_json_dict())
+        assert again == cfg
+        assert again.bit_widths == (4, (2, 32), 8)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            small_config(model="transformer9000")
+
+    def test_list_bit_widths_normalised(self):
+        cfg = SPNetConfig(
+            model="resnet8", bit_widths=[[2, 32], 8], num_classes=3,
+        )
+        assert cfg.bit_widths == ((2, 32), 8)
+
+
+class TestCheckpointRoundTrip:
+    def test_bit_for_bit_at_every_bitwidth(self, tmp_path):
+        cfg = small_config(bit_widths=(4, (2, 32), 8, 16))
+        sp_net = build_sp_net(cfg)
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8)).astype(
+            np.float32
+        )
+        before = outputs_at_every_bit(sp_net, x)
+
+        npz_path, json_path = save_checkpoint(
+            sp_net, cfg, str(tmp_path / "ckpt")
+        )
+        assert os.path.exists(npz_path) and os.path.exists(json_path)
+
+        loaded, loaded_cfg = load_checkpoint(str(tmp_path / "ckpt"))
+        assert loaded_cfg == cfg
+        after = outputs_at_every_bit(loaded, x)
+        for bits in sp_net.bit_widths:
+            np.testing.assert_array_equal(before[bits], after[bits])
+
+    def test_either_suffix_addresses_checkpoint(self, tmp_path):
+        cfg = small_config()
+        sp_net = build_sp_net(cfg)
+        save_checkpoint(sp_net, cfg, str(tmp_path / "m.npz"))
+        loaded, _ = load_checkpoint(str(tmp_path / "m.json"))
+        assert loaded.bit_widths == sp_net.bit_widths
+
+    def test_bad_schema_rejected(self, tmp_path):
+        cfg = small_config()
+        sp_net = build_sp_net(cfg)
+        _, json_path = save_checkpoint(sp_net, cfg, str(tmp_path / "m"))
+        import json as json_mod
+
+        with open(json_path) as handle:
+            meta = json_mod.load(handle)
+        meta["schema"] = 999
+        with open(json_path, "w") as handle:
+            json_mod.dump(meta, handle)
+        with pytest.raises(ValueError, match="schema"):
+            load_checkpoint(str(tmp_path / "m"))
+
+
+class TestModelRegistry:
+    def test_register_get_names(self):
+        reg = ModelRegistry()
+        cfg = small_config()
+        sp_net = build_sp_net(cfg)
+        reg.register("prod", sp_net, cfg)
+        assert reg.get("prod") is sp_net
+        assert reg.config("prod") == cfg
+        assert reg.names() == ["prod"]
+        assert "prod" in reg and len(reg) == 1
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            ModelRegistry().get("nope")
+
+    def test_invalid_name_rejected(self):
+        cfg = small_config()
+        sp_net = build_sp_net(cfg)
+        for bad in ("a/b", "", ".", "..", "model.json", "weights.npz"):
+            with pytest.raises(ValueError):
+                ModelRegistry().register(bad, sp_net, cfg)
+
+    def test_save_requires_root(self):
+        reg = ModelRegistry()
+        cfg = small_config()
+        reg.register("m", build_sp_net(cfg), cfg)
+        with pytest.raises(ValueError):
+            reg.save("m")
+
+    def test_incomplete_checkpoint_not_listed(self, tmp_path):
+        """A stray .json without its .npz must not be claimed loadable."""
+        root = tmp_path / "models"
+        root.mkdir()
+        (root / "orphan.json").write_text("{}")
+        reg = ModelRegistry(str(root))
+        assert reg.names() == []
+        assert "orphan" not in reg
+        with pytest.raises(KeyError):
+            reg.get("orphan")
+
+    def test_persist_evict_reload_bit_for_bit(self, tmp_path):
+        cfg = small_config()
+        sp_net = build_sp_net(cfg)
+        x = np.random.default_rng(1).normal(size=(2, 3, 8, 8)).astype(
+            np.float32
+        )
+        before = outputs_at_every_bit(sp_net, x)
+
+        reg = ModelRegistry(str(tmp_path / "models"))
+        reg.register("prod", sp_net, cfg, persist=True)
+        assert reg.evict("prod")
+        assert not reg.evict("prod")
+        assert reg.names() == ["prod"]  # checkpoint still listed
+
+        reloaded = reg.get("prod")
+        assert reloaded is not sp_net
+        after = outputs_at_every_bit(reloaded, x)
+        for bits in sp_net.bit_widths:
+            np.testing.assert_array_equal(before[bits], after[bits])

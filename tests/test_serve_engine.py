@@ -1,0 +1,206 @@
+"""Inference engine micro-batching + precision policies."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    BitLatencyModel,
+    InferenceEngine,
+    InferenceRequest,
+    LatencySLOPolicy,
+    PolicyInputs,
+    QueueDepthPolicy,
+    SPNetConfig,
+    StaticPolicy,
+    build_sp_net,
+    make_policy,
+)
+
+
+BITS = (4, 8, 16)
+PER_IMAGE = {4: 0.001, 8: 0.002, 16: 0.004}
+OVERHEAD = 0.001
+
+
+@pytest.fixture(scope="module")
+def sp_net():
+    cfg = SPNetConfig(
+        model="resnet8", bit_widths=BITS, num_classes=3,
+        width_mult=0.25, image_size=8,
+    )
+    return build_sp_net(cfg)
+
+
+def latency_model():
+    return BitLatencyModel(dict(PER_IMAGE), batch_overhead_s=OVERHEAD)
+
+
+def request(i, arrival, label=0):
+    image = np.full((3, 8, 8), float(i), dtype=np.float32)
+    return InferenceRequest(
+        request_id=i, arrival_s=arrival, image=image, label=label
+    )
+
+
+def make_engine(sp_net, policy=None, **kwargs):
+    kwargs.setdefault("max_batch", 4)
+    kwargs.setdefault("batch_timeout_s", 0.010)
+    kwargs.setdefault("clock", lambda: 0.0)
+    return InferenceEngine(
+        sp_net, policy or StaticPolicy(), latency_model(), **kwargs
+    )
+
+
+class TestBitLatencyModel:
+    def test_batch_latency_is_affine(self):
+        model = latency_model()
+        assert model.batch_latency_s(8, 1) == pytest.approx(
+            OVERHEAD + PER_IMAGE[8]
+        )
+        assert model.batch_latency_s(8, 5) == pytest.approx(
+            OVERHEAD + 5 * PER_IMAGE[8]
+        )
+
+    def test_unknown_bits_raises(self):
+        with pytest.raises(KeyError):
+            latency_model().batch_latency_s(12, 1)
+
+    def test_fastest_bits(self):
+        assert latency_model().fastest_bits() == 4
+
+
+class TestMicroBatching:
+    def test_no_dispatch_before_timeout_or_full(self, sp_net):
+        engine = make_engine(sp_net)
+        engine.submit(request(0, 0.0))
+        assert engine.dispatch(0.001) is None
+        assert engine.queue_depth == 1
+
+    def test_timeout_releases_partial_batch(self, sp_net):
+        engine = make_engine(sp_net)
+        engine.submit(request(0, 0.0))
+        engine.submit(request(1, 0.002))
+        record = engine.dispatch(0.010)  # timeout of oldest expired
+        assert record is not None and record.size == 2
+        assert engine.queue_depth == 0
+        # Latency decomposition: queue wait + service.
+        service = OVERHEAD + 2 * PER_IMAGE[16]
+        assert record.results[0].latency_s == pytest.approx(0.010 + service)
+        assert record.results[1].latency_s == pytest.approx(0.008 + service)
+
+    def test_full_batch_releases_immediately(self, sp_net):
+        engine = make_engine(sp_net)
+        for i in range(6):
+            engine.submit(request(i, 0.0))
+        record = engine.dispatch(0.0)
+        assert record is not None and record.size == 4  # max_batch
+        assert engine.queue_depth == 2
+
+    def test_flush_drains_everything(self, sp_net):
+        engine = make_engine(sp_net)
+        for i in range(6):
+            engine.submit(request(i, 0.0))
+        records = engine.drain(0.0)
+        assert [r.size for r in records] == [4, 2]
+        # Second batch starts when the first finishes.
+        assert records[1].start_s == pytest.approx(records[0].finish_s)
+        assert engine.queue_depth == 0
+
+    def test_one_forward_per_batch_and_stats(self, sp_net):
+        engine = make_engine(sp_net)
+        for i in range(4):
+            engine.submit(request(i, 0.0, label=i % 3))
+        record = engine.dispatch(0.0)
+        stats = engine.stats
+        assert stats.batches == 1
+        assert stats.completed == 4
+        assert stats.requests_per_bit[16] == 4
+        assert stats.labelled == 4
+        assert record.bits == 16
+
+    def test_next_release_time(self, sp_net):
+        engine = make_engine(sp_net)
+        assert engine.next_release_s() is None
+        engine.submit(request(0, 0.003))
+        assert engine.next_release_s() == pytest.approx(0.013)
+
+    def test_controller_outside_candidates_rejected(self, sp_net):
+        class Rogue(StaticPolicy):
+            def choose_bits(self, inputs):
+                return 12
+
+        engine = make_engine(sp_net, policy=Rogue())
+        engine.submit(request(0, 0.0))
+        with pytest.raises(ValueError, match="candidate set"):
+            engine.dispatch(1.0)
+
+
+def inputs(queue_depth=0, batch_size=4, oldest_wait=0.0, p95=None,
+           current=16):
+    return PolicyInputs(
+        now=1.0, batch_size=batch_size, queue_depth=queue_depth,
+        oldest_wait_s=oldest_wait, recent_p95_s=p95, current_bits=current,
+        bit_widths=BITS, max_batch=4, latency_model=latency_model(),
+    )
+
+
+class TestPolicies:
+    def test_static_default_is_highest(self, sp_net):
+        engine = make_engine(sp_net)  # StaticPolicy()
+        assert engine.controller.bits == 16
+
+    def test_static_rejects_non_candidate(self, sp_net):
+        with pytest.raises(ValueError):
+            make_engine(sp_net, policy=StaticPolicy(12))
+
+    def test_slo_picks_highest_fitting_precision(self):
+        policy = LatencySLOPolicy(slo_s=0.100, safety=1.0)
+        # Idle: 16-bit batch fits a 100ms SLO easily.
+        assert policy.choose_bits(inputs()) == 16
+        # predicted(bits) = wait + (overhead + 4*per) * (1 + ceil(depth/4)):
+        # at depth 40, 16-bit blows the SLO (0.187s) but 8-bit just fits
+        # (0.099s); at depth 44 only the lowest precision drains in time.
+        assert policy.choose_bits(inputs(queue_depth=40)) == 8
+        assert policy.choose_bits(inputs(queue_depth=44)) == 4
+
+    def test_slo_feedback_clamp_steps_down(self):
+        policy = LatencySLOPolicy(slo_s=0.100, safety=1.0)
+        # Analytically 16 still fits, but the measured p95 violates the
+        # SLO, so only precisions below current (16) are eligible.
+        assert policy.choose_bits(inputs(p95=0.200, current=16)) == 8
+
+    def test_slo_feedback_clamp_holds_at_bottom_rung(self):
+        policy = LatencySLOPolicy(slo_s=0.100, safety=1.0)
+        # Already at the fastest precision with the tail still violated:
+        # stay put instead of bouncing straight back to the top.
+        assert policy.choose_bits(inputs(p95=0.200, current=4)) == 4
+
+    def test_slo_worst_case_falls_to_lowest(self):
+        policy = LatencySLOPolicy(slo_s=0.001, safety=1.0)
+        assert policy.choose_bits(inputs(oldest_wait=1.0)) == 4
+
+    def test_queue_depth_ladder(self):
+        policy = QueueDepthPolicy(low=0, high=16)
+        assert policy.choose_bits(inputs(queue_depth=0)) == 16
+        assert policy.choose_bits(inputs(queue_depth=8)) == 8
+        assert policy.choose_bits(inputs(queue_depth=16)) == 4
+        assert policy.choose_bits(inputs(queue_depth=100)) == 4
+
+    def test_make_policy_registry(self):
+        assert make_policy("static").name == "static"
+        assert make_policy("slo", slo_s=0.1).name == "slo"
+        assert make_policy("queue").name == "queue"
+        with pytest.raises(ValueError):
+            make_policy("rl-agent")
+
+    def test_slo_validation(self):
+        with pytest.raises(ValueError):
+            LatencySLOPolicy(slo_s=0.0)
+        with pytest.raises(ValueError):
+            LatencySLOPolicy(slo_s=1.0, safety=1.5)
+
+    def test_queue_validation(self):
+        with pytest.raises(ValueError):
+            QueueDepthPolicy(low=-1)
+        with pytest.raises(ValueError):
+            QueueDepthPolicy(low=5, high=5)
