@@ -43,6 +43,7 @@ def test_all_tracked_ops_present(suite_results):
         "automapper_alexnet_search",
         "serve_sim_bursty_slo",
         "serve_checkpoint_roundtrip",
+        "pipeline_smoke",
     }
     for entry in suite_results["ops"].values():
         assert entry["median_s"] > 0

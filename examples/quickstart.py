@@ -1,55 +1,82 @@
-"""Quickstart: train a switchable-precision network with CDT.
+"""Quickstart: the whole InstantNet flow through the pipeline facade.
 
-Builds a scaled-down MobileNetV2 that shares one set of weights across
-the bit-width set [4, 8, 32], trains it with the paper's Cascade
-Distillation Training, and then switches precision *instantly* — no
-fine-tuning between switches, the core promise of SP-Nets.
+One :class:`repro.api.PipelineConfig` drives all four stages — SP-NAS
+architecture generation, Cascade Distillation Training (one weight set
+accurate at every bit-width), per-bit-width dataflow deployment, and a
+traffic-replay serving simulation — chained through artifacts in a run
+directory.  The same config, saved as JSON, runs identically via::
+
+    python -m repro pipeline run --config examples/pipeline_smoke.json
 
 Run:
     python examples/quickstart.py
 """
 
-from repro import rng
-from repro.baselines import train_cdt
-from repro.core import TrainConfig
-from repro.data import cifar10_like
+import json
 
-from repro.nn.models import mobilenet_v2
-
-BIT_WIDTHS = [4, 8, 32]
+from repro.api import (
+    DeployConfig,
+    ModelConfig,
+    PipelineConfig,
+    SearchConfig,
+    ServeConfig,
+    TrainConfig,
+    run_pipeline,
+)
 
 
 def main():
-    rng.set_seed(0)
-
-    # 1. Synthetic stand-in for CIFAR-10 (see DESIGN.md substitutions).
-    train_set, test_set = cifar10_like(num_train=1024, num_test=256,
-                                       image_size=16, difficulty=2.0)
-
-    # 2. A model builder: the factory argument decides precision handling,
-    #    so the same topology serves float and switchable configurations.
-    def builder(factory):
-        return mobilenet_v2(num_classes=10, factory=factory,
-                            width_mult=0.5, setting="tiny")
-
-    # 3. Train with Cascade Distillation (Eq. 1 of the paper): every
-    #    bit-width distils from all higher ones, with stop-gradient.
-    print(f"Training switchable-precision MobileNetV2 at bits {BIT_WIDTHS} ...")
-    trained = train_cdt(
-        builder, BIT_WIDTHS, train_set, test_set,
-        TrainConfig(epochs=6, batch_size=64),
+    config = PipelineConfig(
+        name="quickstart",
+        seed=0,
+        # The network every stage shares: SP-NAS will derive the topology;
+        # one weight set serves bit-widths 4 and 8 with per-bit batch-norm.
+        model=ModelConfig(
+            name="derived", bit_widths=[4, 8], num_classes=10,
+            image_size=16, quantizer="sbm",
+        ),
+        # generate: bi-level SP-NAS over the tiny search space.
+        search=SearchConfig(space="tiny", epochs=2, batch_size=32,
+                            samples=512, flops_target=4e5),
+        # train: cascade distillation (Eq. 1) — every bit-width distils
+        # from all higher ones, with stop-gradient.
+        train=TrainConfig(method="cdt", epochs=4, batch_size=64,
+                          train_samples=1024, test_samples=256),
+        # deploy: evolutionary dataflow search per bit-width on the IoT
+        # accelerator model.
+        deploy=DeployConfig(device="edge", metric="edp", generations=12),
+        # serve: replay a bursty arrival trace under the SLO-adaptive
+        # precision policy — the instantaneous-switching payoff.
+        serve=ServeConfig(scenario="bursty", policy="slo",
+                          num_requests=192, max_batch=8),
     )
 
-    # 4. Instantly switchable inference.
-    print("\nTest accuracy per bit-width (one network, shared weights):")
-    for bits, acc in trained.accuracies.items():
-        print(f"  {bits:>2}-bit: {100 * acc:5.2f}%")
+    result = run_pipeline(config, run_dir="runs/quickstart")
 
-    sp_net = trained.sp_net
-    print("\nSwitching precision on the fly (no fine-tuning):")
-    for bits in (32, 4, 8):
-        sp_net.set_bitwidth(bits)
-        print(f"  now running at {bits}-bit")
+    print("\n=== artifacts ===")
+    for stage in result.stages_run:
+        print(f"  {stage:<9} {result.artifacts[stage]}")
+
+    train = result.reports["train"]
+    print("\nTest accuracy per bit-width (one network, shared weights):")
+    for entry in train["accuracies"]:
+        print(f"  {str(entry['bits']):>7}-bit: {100 * entry['accuracy']:5.2f}%")
+
+    deploy = result.reports["deploy"]
+    print("\nDeployment menu (switch instantly as the budget changes):")
+    for mapping in deploy["mappings"]:
+        print(f"  {str(mapping['bits']):>7}-bit: "
+              f"EDP {mapping['edp']:.3e} J*s, "
+              f"latency {mapping['per_image_latency_s'] * 1e3:.3f} ms/image")
+
+    serve = result.reports["serve"]
+    report = serve["reports"][0]
+    print(f"\nServing under '{report['scenario']}' traffic "
+          f"({report['policy']} policy): "
+          f"p95 {report['latency_p95_s'] * 1e3:.2f} ms, "
+          f"{report['throughput_rps']:.0f} req/s, "
+          f"accuracy {report['accuracy']:.3f}")
+    print(f"per-bit occupancy: {json.dumps(report['occupancy'])}")
 
 
 if __name__ == "__main__":

@@ -21,6 +21,18 @@ if [[ "${1:-}" == "--fast" ]]; then
     exit 0
 fi
 
+echo "==> pipeline smoke (generate -> train -> deploy -> serve from one JSON)"
+python -m repro pipeline validate --config examples/pipeline_smoke.json
+PIPELINE_RUN_DIR="$(mktemp -d)"
+trap 'rm -rf "$PIPELINE_RUN_DIR"' EXIT
+python -m repro pipeline run --config examples/pipeline_smoke.json \
+    --run-dir "$PIPELINE_RUN_DIR"
+for artifact in architecture.json checkpoint.npz deploy_report.json \
+        serve_report.json pipeline_report.json; do
+    test -f "$PIPELINE_RUN_DIR/$artifact" \
+        || { echo "missing pipeline artifact: $artifact"; exit 1; }
+done
+
 echo "==> serve-sim smoke (bursty scenario, all policies)"
 python -m repro serve-sim --scenario bursty --policy all --scale smoke --seed 0
 

@@ -1,4 +1,4 @@
-"""Command-line entry point: experiments, perf bench, serving simulator.
+"""Command-line entry point: experiments, perf bench, serving, pipeline.
 
 Usage::
 
@@ -7,12 +7,21 @@ Usage::
     python -m repro run all --scale default
     python -m repro bench --scale smoke
     python -m repro serve-sim --scenario bursty --policy all --scale smoke
+    python -m repro pipeline validate --config examples/pipeline_smoke.json
+    python -m repro pipeline run --config examples/pipeline_smoke.json
+
+Every ``choices=`` list below comes from the import-free registry
+manifest (:mod:`repro.api.manifest`), so parser construction never
+imports numpy or the subsystems — component name lists stay in lockstep
+with the registries by construction, not by hand-copied literals.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+from .api.manifest import choices
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -25,8 +34,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", help="table1..table4, fig2..fig7, or all")
-    run.add_argument("--scale", default="smoke",
-                     choices=("smoke", "default", "full"))
+    run.add_argument("--scale", default="smoke", choices=choices("scales"))
     run.add_argument("--seed", type=int, default=0)
 
     from .bench.perf import add_arguments as add_bench_arguments
@@ -49,48 +57,79 @@ def _build_parser() -> argparse.ArgumentParser:
             "histogram for each precision policy"
         ),
     )
-    # Literal copies of repro.serve's SCENARIO_NAMES / POLICY_NAMES /
-    # SERVE_SCALES keys: importing the serve subsystem here would slow
-    # every CLI invocation ~3x, so the registries are not imported and
-    # tests/test_cli.py asserts these stay in lockstep instead.
     serve.add_argument("--scenario", default="bursty",
-                       choices=("constant", "bursty", "diurnal"))
+                       choices=choices("scenarios"))
     serve.add_argument("--policy", default="all",
-                       choices=("all", "static", "slo", "queue"))
+                       choices=("all",) + choices("policies"))
     serve.add_argument("--scale", default="smoke",
-                       choices=("default", "smoke"))
+                       choices=choices("serve_scales"))
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--output", default=None, metavar="PATH",
         help="also write the reports as JSON",
     )
+
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="config-driven generate -> train -> deploy -> serve flow",
+        description=(
+            "drive the end-to-end InstantNet pipeline from one JSON "
+            "config: SP-NAS generation, switchable-precision training, "
+            "per-bit dataflow deployment, and traffic-replay serving, "
+            "chained through artifacts in a run directory"
+        ),
+    )
+    pipe_sub = pipeline.add_subparsers(dest="pipeline_command", required=True)
+    for name, text in (
+        ("run", "execute pipeline stages end-to-end"),
+        ("validate", "type-check a pipeline config and exit"),
+        ("show", "print the normalised config and stage plan"),
+    ):
+        cmd = pipe_sub.add_parser(name, help=text, description=text)
+        cmd.add_argument(
+            "--config", required=True, metavar="PATH",
+            help="pipeline config JSON (see examples/pipeline_smoke.json)",
+        )
+        if name == "run":
+            cmd.add_argument(
+                "--run-dir", default=None, metavar="DIR",
+                help="artifact directory (default: runs/<config name>)",
+            )
+            cmd.add_argument(
+                "--stages", default=None, metavar="S1,S2",
+                help="comma-separated subset of generate,train,deploy,serve",
+            )
+            cmd.add_argument(
+                "--seed", type=int, default=None,
+                help="override the config's seed",
+            )
     return parser
 
 
 def _cmd_list() -> int:
-    from .experiments import ALL_EXPERIMENTS
-
-    for name in ALL_EXPERIMENTS:
+    # Experiment names come from the manifest: listing must not pay the
+    # cost of importing every experiment module.
+    for name in choices("experiments"):
         print(name)
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from . import rng
-    from .experiments import ALL_EXPERIMENTS
+    from .api.registry import EXPERIMENTS
 
     names = (
-        list(ALL_EXPERIMENTS) if args.experiment == "all"
+        list(EXPERIMENTS.names()) if args.experiment == "all"
         else [args.experiment]
     )
-    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {unknown}; try `python -m repro list`",
               file=sys.stderr)
         return 2
     for name in names:
         rng.set_seed(args.seed)
-        result = ALL_EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        result = EXPERIMENTS.get(name)(scale=args.scale, seed=args.seed)
         print(result.to_text())
         print()
     return 0
@@ -117,6 +156,77 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_pipeline_config(path: str):
+    """Parse + validate; returns (config, None) or (None, error message)."""
+    from .api.config import ConfigError, PipelineConfig
+
+    try:
+        return PipelineConfig.load(path), None
+    except ConfigError as exc:
+        return None, str(exc)
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    config, error = _load_pipeline_config(args.config)
+    if error is not None:
+        print(f"invalid pipeline config {args.config}: {error}",
+              file=sys.stderr)
+        return 2
+
+    if args.pipeline_command == "validate":
+        print(f"ok: {args.config} is a valid pipeline config "
+              f"(name={config.name!r})")
+        return 0
+
+    if args.pipeline_command == "show":
+        from .api.pipeline import STAGES
+
+        print(json.dumps(config.to_dict(), indent=2, sort_keys=True))
+        run_dir = config.run_dir or f"runs/{config.name}"
+        print(f"\nrun_dir: {run_dir}")
+        print(f"stages:  {' -> '.join(STAGES)}"
+              + ("" if config.search else "  (generate: zoo pass-through)"))
+        return 0
+
+    # run
+    from .api.pipeline import STAGES, PipelineError, run_pipeline
+
+    stages = None
+    if args.stages:
+        stages = [s.strip() for s in args.stages.split(",") if s.strip()]
+        unknown = [s for s in stages if s not in STAGES]
+        if not stages or unknown:
+            print(
+                f"--stages {args.stages!r} names no valid stage; "
+                f"available: {list(STAGES)}" if not stages else
+                f"unknown stage(s) {unknown}; available: {list(STAGES)}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.seed is not None:
+        config = dataclasses.replace(config, seed=args.seed)
+    try:
+        result = run_pipeline(config, run_dir=args.run_dir, stages=stages)
+    except PipelineError as exc:
+        print(f"pipeline failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"pipeline {config.name!r}: "
+          f"{' -> '.join(result.stages_run)} in {result.seconds:.1f}s")
+    for stage in result.stages_run:
+        print(f"  {stage:<9} {result.artifacts[stage]}")
+    train_report = result.reports.get("train")
+    if train_report:
+        accs = "  ".join(
+            f"{entry['bits']}: {100 * entry['accuracy']:.1f}%"
+            for entry in train_report["accuracies"]
+        )
+        print(f"  accuracy  {accs}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -129,6 +239,8 @@ def main(argv=None) -> int:
         return run_from_args(args)
     if args.command == "serve-sim":
         return _cmd_serve_sim(args)
+    if args.command == "pipeline":
+        return _cmd_pipeline(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,0 +1,63 @@
+"""Unified library API: typed configs, component registries, pipeline.
+
+The stable programmatic surface of the reproduction::
+
+    from repro.api import PipelineConfig, run_pipeline
+
+    config = PipelineConfig.load("examples/pipeline_smoke.json")
+    result = run_pipeline(config, run_dir="runs/demo")
+
+Three layers:
+
+* :mod:`repro.api.config` — frozen dataclass configs with lossless
+  dict/JSON round-trips and helpful unknown-key / bad-value errors;
+* :mod:`repro.api.registry` — decorator-based component registries
+  (models, quantizers, policies, scenarios, search spaces, devices,
+  strategies, experiments, scales) whose built-ins are lazy
+  ``module:attr`` pointers, enumerated import-free by
+  :func:`repro.api.manifest.manifest`;
+* :mod:`repro.api.pipeline` — the generate -> train -> deploy -> serve
+  orchestrator chaining stages through on-disk artifacts.
+
+Attribute access is lazy (PEP 562): ``import repro.api`` costs nothing,
+and the CLI pulls only the manifest until a pipeline actually runs.
+"""
+
+from __future__ import annotations
+
+_CONFIG_EXPORTS = {
+    "ConfigError", "ModelConfig", "SearchConfig", "TrainConfig",
+    "DeployConfig", "ServeConfig", "PipelineConfig",
+}
+_REGISTRY_EXPORTS = {
+    "Registry", "RegistryError", "REGISTRIES", "MODELS", "QUANTIZERS",
+    "POLICIES", "SCENARIOS", "SEARCH_SPACES", "DEVICES", "STRATEGIES",
+    "EXPERIMENTS", "SCALES", "SERVE_SCALES",
+}
+_MANIFEST_EXPORTS = {"manifest", "choices"}
+_PIPELINE_EXPORTS = {
+    "Pipeline", "PipelineError", "PipelineResult", "STAGES", "run_pipeline",
+}
+
+__all__ = sorted(
+    _CONFIG_EXPORTS | _REGISTRY_EXPORTS | _MANIFEST_EXPORTS
+    | _PIPELINE_EXPORTS
+)
+
+
+def __getattr__(name: str):
+    if name in _CONFIG_EXPORTS:
+        from . import config as module
+    elif name in _REGISTRY_EXPORTS:
+        from . import registry as module
+    elif name in _MANIFEST_EXPORTS:
+        from . import manifest as module
+    elif name in _PIPELINE_EXPORTS:
+        from . import pipeline as module
+    else:
+        raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+    return getattr(module, name)
+
+
+def __dir__():
+    return __all__

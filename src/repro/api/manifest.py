@@ -1,0 +1,39 @@
+"""Import-free manifest of every registered component name.
+
+``manifest()`` answers "what choices exist?" without importing numpy,
+the model zoo, or the serving stack — it reads the *declared* names in
+:mod:`repro.api.registry`, whose built-ins are lazy ``module:attr``
+strings.  This is what keeps ``python -m repro --help`` fast: the CLI
+builds its ``choices=`` lists from here instead of importing the
+subsystems (the wart the old hand-copied literal tuples papered over).
+
+``tests/test_api_registry.py`` pins the manifest to what the defining
+modules actually implement (every ``PrecisionController`` subclass,
+every ``*_gaps`` scenario function, every model-zoo factory, every
+``fig*``/``table*`` experiment module, the scale dicts), so a component
+defined without being registered — or registered without being
+defined — fails CI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .registry import REGISTRIES
+
+__all__ = ["manifest", "choices"]
+
+
+def manifest() -> Dict[str, Tuple[str, ...]]:
+    """Registry name -> registration-ordered names, zero heavy imports."""
+    return {kind: registry.names() for kind, registry in REGISTRIES.items()}
+
+
+def choices(kind: str) -> Tuple[str, ...]:
+    """Names registered under one component family (e.g. ``"policies"``)."""
+    try:
+        return REGISTRIES[kind].names()
+    except KeyError:
+        raise KeyError(
+            f"unknown registry {kind!r}; available: {sorted(REGISTRIES)}"
+        ) from None

@@ -1,0 +1,244 @@
+"""Central component registries with lazy, import-free built-in entries.
+
+Every pluggable component family in the reproduction — models,
+quantisers, precision policies, traffic scenarios, SP-NAS search spaces,
+accelerator devices, training strategies, experiments, and scale
+presets — is enumerated here.  Built-ins are declared *lazily* as
+``"module:attr"`` strings, so importing this module costs nothing
+beyond the stdlib: the CLI can render ``--help`` choices and
+``repro pipeline validate`` can check names without importing numpy or
+the model zoo.  Resolution (:meth:`Registry.get`) imports on first use.
+
+New components register with the decorator form::
+
+    from repro.api.registry import SCENARIOS
+
+    @SCENARIOS.register("lunch-rush")
+    def lunch_rush_gaps(n, capacity_rps, rng):
+        ...
+
+A defining module may decorate a name that already exists as a lazy
+built-in pointing into that same module — the concrete object simply
+replaces the pointer (this is how ``repro.serve.policies`` et al. own
+their entries while the manifest stays import-free).  Any other
+duplicate registration raises :class:`RegistryError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "Registry",
+    "RegistryError",
+    "REGISTRIES",
+    "MODELS",
+    "QUANTIZERS",
+    "POLICIES",
+    "SCENARIOS",
+    "SEARCH_SPACES",
+    "DEVICES",
+    "STRATEGIES",
+    "EXPERIMENTS",
+    "SCALES",
+    "SERVE_SCALES",
+]
+
+
+class RegistryError(KeyError):
+    """Unknown name, duplicate registration, or broken lazy entry."""
+
+    # KeyError.__str__ repr()s its single argument, which mangles the
+    # multi-clause messages below; plain str keeps them readable.
+    def __str__(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+class _LazyEntry:
+    """An unresolved pointer: ``module:attr`` plus an optional dict key."""
+
+    __slots__ = ("spec", "key")
+
+    def __init__(self, spec: str, key: Optional[str] = None):
+        if ":" not in spec:
+            raise ValueError(f"lazy spec must be 'module:attr', got {spec!r}")
+        self.spec = spec
+        self.key = key
+
+    @property
+    def module(self) -> str:
+        return self.spec.partition(":")[0]
+
+    def resolve(self) -> Any:
+        import importlib
+
+        module_name, _, attr = self.spec.partition(":")
+        module = importlib.import_module(module_name)
+        obj = getattr(module, attr)
+        if self.key is not None:
+            obj = obj[self.key]
+        return obj
+
+
+class Registry:
+    """Name -> component mapping with decorator registration.
+
+    ``kind`` names the component family in error messages ("model",
+    "policy", ...).  Entries are either concrete objects or
+    :class:`_LazyEntry` pointers resolved on first :meth:`get`.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: Dict[str, Any] = {}
+
+    # -- registration --------------------------------------------------
+    def register(self, name: str, obj: Any = None, *, override: bool = False):
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        Duplicates raise :class:`RegistryError` unless ``override=True``
+        or the existing entry is a lazy built-in pointing into the
+        module (or a submodule of the module) that defines ``obj``.
+        """
+        if obj is None:
+            return lambda target: self.register(
+                name, target, override=override
+            )
+        existing = self._entries.get(name)
+        if existing is not None and not override:
+            if not self._is_lazy_claim(existing, obj):
+                raise RegistryError(
+                    f"{self.kind} {name!r} is already registered; pass "
+                    f"override=True to replace it"
+                )
+        self._entries[name] = obj
+        return obj
+
+    def register_lazy(
+        self, name: str, spec: str, key: Optional[str] = None
+    ) -> None:
+        """Declare a built-in as ``"module:attr"`` without importing it."""
+        if name in self._entries:
+            raise RegistryError(
+                f"{self.kind} {name!r} is already registered"
+            )
+        self._entries[name] = _LazyEntry(spec, key)
+
+    @staticmethod
+    def _is_lazy_claim(existing: Any, obj: Any) -> bool:
+        """A module may claim the lazy entries that point into it."""
+        if not isinstance(existing, _LazyEntry):
+            return False
+        target = existing.module
+        module = getattr(obj, "__module__", "") or ""
+        return module == target or module.startswith(target + ".")
+
+    # -- lookup --------------------------------------------------------
+    def get(self, name: str) -> Any:
+        """Resolve ``name``; unknown names list the available choices."""
+        try:
+            entry = self._entries[name]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; available: "
+                f"{list(self.names())}"
+            ) from None
+        if isinstance(entry, _LazyEntry):
+            resolved = entry.resolve()
+            # The import may have re-registered the name via decorator;
+            # prefer whatever the defining module installed.
+            current = self._entries.get(name, entry)
+            if isinstance(current, _LazyEntry):
+                self._entries[name] = resolved
+                return resolved
+            return current
+        return entry
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered names in registration order — no imports triggered."""
+        return tuple(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {list(self.names())})"
+
+
+# ----------------------------------------------------------------------
+# Built-in declarations (import-free: strings only).
+# tests/test_api_registry.py asserts every entry resolves and matches
+# the defining module's own surface, so these cannot silently drift.
+# ----------------------------------------------------------------------
+MODELS = Registry("model")
+MODELS.register_lazy("mobilenet_v2", "repro.nn.models:mobilenet_v2")
+MODELS.register_lazy("resnet8", "repro.nn.models:resnet8")
+MODELS.register_lazy("resnet18", "repro.nn.models:resnet18")
+MODELS.register_lazy("resnet38", "repro.nn.models:resnet38")
+MODELS.register_lazy("resnet74", "repro.nn.models:resnet74")
+
+QUANTIZERS = Registry("quantizer")
+QUANTIZERS.register_lazy("dorefa", "repro.quant.quantizers:DoReFaQuantizer")
+QUANTIZERS.register_lazy("sbm", "repro.quant.quantizers:SBMQuantizer")
+QUANTIZERS.register_lazy("minmax", "repro.quant.quantizers:MinMaxQuantizer")
+
+POLICIES = Registry("policy")
+POLICIES.register_lazy("static", "repro.serve.policies:StaticPolicy")
+POLICIES.register_lazy("slo", "repro.serve.policies:LatencySLOPolicy")
+POLICIES.register_lazy("queue", "repro.serve.policies:QueueDepthPolicy")
+
+SCENARIOS = Registry("scenario")
+SCENARIOS.register_lazy("constant", "repro.serve.simulator:constant_gaps")
+SCENARIOS.register_lazy("bursty", "repro.serve.simulator:bursty_gaps")
+SCENARIOS.register_lazy("diurnal", "repro.serve.simulator:diurnal_gaps")
+
+SEARCH_SPACES = Registry("search space")
+SEARCH_SPACES.register_lazy("cifar", "repro.core.spnas.space:cifar_search_space")
+SEARCH_SPACES.register_lazy("tiny", "repro.core.spnas.space:tiny_search_space")
+
+DEVICES = Registry("device")
+DEVICES.register_lazy("eyeriss", "repro.hardware.hierarchy:eyeriss_like_asic")
+DEVICES.register_lazy("edge", "repro.hardware.hierarchy:edge_asic")
+DEVICES.register_lazy("zc706", "repro.hardware.hierarchy:zc706_like_fpga")
+
+STRATEGIES = Registry("training strategy")
+STRATEGIES.register_lazy("cdt", "repro.core.cdt:CascadeDistillation")
+STRATEGIES.register_lazy("sp", "repro.core.cdt:VanillaDistillation")
+STRATEGIES.register_lazy("adabits", "repro.core.cdt:JointCrossEntropy")
+
+EXPERIMENTS = Registry("experiment")
+for _name in ("table1", "table2", "table3", "table4",
+              "fig2", "fig4", "fig5", "fig6", "fig7"):
+    EXPERIMENTS.register_lazy(_name, f"repro.experiments.{_name}:run")
+del _name
+
+SCALES = Registry("scale")
+for _scale in ("smoke", "default", "full"):
+    SCALES.register_lazy(_scale, "repro.experiments.common:SCALES", key=_scale)
+del _scale
+
+SERVE_SCALES = Registry("serve scale")
+for _scale in ("smoke", "default"):
+    SERVE_SCALES.register_lazy(
+        _scale, "repro.serve.simulator:SERVE_SCALES", key=_scale
+    )
+del _scale
+
+REGISTRIES: Dict[str, Registry] = {
+    "models": MODELS,
+    "quantizers": QUANTIZERS,
+    "policies": POLICIES,
+    "scenarios": SCENARIOS,
+    "search_spaces": SEARCH_SPACES,
+    "devices": DEVICES,
+    "strategies": STRATEGIES,
+    "experiments": EXPERIMENTS,
+    "scales": SCALES,
+    "serve_scales": SERVE_SCALES,
+}

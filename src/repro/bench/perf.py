@@ -303,6 +303,56 @@ def _bench_serve(scale: BenchScale) -> Dict[str, Dict[str, float]]:
     return ops
 
 
+def _bench_pipeline(scale: BenchScale) -> Dict[str, Dict[str, float]]:
+    """`repro pipeline run` end to end at bench scale.
+
+    Tracks the full config-driven flow — SP-NAS generation, CDT
+    training, per-bit AutoMapper deployment, and the traffic-replay
+    serve stage — including every artifact write/read chaining the
+    stages, i.e. exactly what the ``scripts/ci.sh`` pipeline smoke gate
+    executes (at reduced sizes so the tracked op stays cheap).
+    """
+    import shutil
+    import tempfile
+
+    from ..api.config import (
+        DeployConfig,
+        ModelConfig,
+        PipelineConfig,
+        SearchConfig,
+        ServeConfig,
+        TrainConfig,
+    )
+    from ..api.pipeline import run_pipeline
+
+    config = PipelineConfig(
+        name="bench",
+        seed=0,
+        model=ModelConfig(
+            name="derived", bit_widths=(4, 8), num_classes=3, image_size=8,
+        ),
+        search=SearchConfig(space="tiny", epochs=1, batch_size=16, samples=48),
+        train=TrainConfig(
+            epochs=1, batch_size=16, train_samples=48, test_samples=24,
+        ),
+        deploy=DeployConfig(device="edge", generations=2),
+        serve=ServeConfig(
+            scenario="bursty", policy="slo",
+            num_requests=max(scale.serve_requests // 2, 32),
+            max_batch=8, mapper_generations=2,
+        ),
+    )
+
+    def run():
+        tmp = tempfile.mkdtemp(prefix="repro-bench-pipeline-")
+        try:
+            run_pipeline(config, run_dir=tmp)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    return {"pipeline_smoke": {"median_s": _median_seconds(run, 2)}}
+
+
 # ----------------------------------------------------------------------
 # Suite driver
 # ----------------------------------------------------------------------
@@ -322,6 +372,7 @@ def run_suite(scale: str = "smoke") -> Dict:
     ops.update(_bench_automapper(cfg))
     ops.update(_bench_serve(cfg))
     ops.update(_bench_cdt_step(cfg))
+    ops.update(_bench_pipeline(cfg))
     gc.collect()
     for name, entry in ops.items():
         if entry.get("reference_s"):

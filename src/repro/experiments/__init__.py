@@ -7,20 +7,14 @@ prints a paper-style table when executed as a script::
     python -m repro.experiments.fig5
 """
 
+from ..api.registry import EXPERIMENTS
 from .common import SCALES, ExperimentResult, Scale, format_table, get_scale
 from . import fig2, fig4, fig5, fig6, fig7, table1, table2, table3, table4
 
-ALL_EXPERIMENTS = {
-    "table1": table1.run,
-    "table2": table2.run,
-    "table3": table3.run,
-    "table4": table4.run,
-    "fig2": fig2.run,
-    "fig4": fig4.run,
-    "fig5": fig5.run,
-    "fig6": fig6.run,
-    "fig7": fig7.run,
-}
+# Backwards-compat mapping, snapshotted at import time from the
+# EXPERIMENTS registry; the CLI resolves names against the live registry,
+# so experiments registered after this package loaded still run there.
+ALL_EXPERIMENTS = {name: EXPERIMENTS.get(name) for name in EXPERIMENTS.names()}
 
 __all__ = [
     "SCALES",

@@ -59,15 +59,31 @@ SCALES: Dict[str, Scale] = {
 
 
 def get_scale(scale) -> Scale:
-    """Resolve a scale by name or pass through a custom :class:`Scale`."""
+    """Resolve a scale by name or pass through a custom :class:`Scale`.
+
+    Names resolve through :data:`repro.api.registry.SCALES` (for which
+    the ``SCALES`` dict above provides the built-ins), so scale presets
+    registered by downstream code are addressable everywhere a scale
+    name is accepted.
+    """
     if isinstance(scale, Scale):
         return scale
-    try:
+    if scale in SCALES:
         return SCALES[scale]
+    from ..api.registry import SCALES as scale_registry
+
+    try:
+        resolved = scale_registry.get(scale)
     except KeyError:
         raise ValueError(
-            f"unknown scale {scale!r}; available: {sorted(SCALES)}"
+            f"unknown scale {scale!r}; available: "
+            f"{list(scale_registry.names())}"
         ) from None
+    if not isinstance(resolved, Scale):
+        raise ValueError(
+            f"registered scale {scale!r} is not a Scale: {resolved!r}"
+        )
+    return resolved
 
 
 @dataclass

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from ...api.registry import MODELS
 from ...tensor import Tensor
 from ..blocks import ConvBNAct, InvertedResidual
 from ..factory import FloatFactory, LayerFactory
@@ -140,6 +141,7 @@ class MobileNetV2(Module):
         return self.classifier(x)
 
 
+@MODELS.register("mobilenet_v2")
 def mobilenet_v2(
     num_classes: int = 100,
     factory: Optional[LayerFactory] = None,

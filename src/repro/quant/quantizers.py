@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.registry import QUANTIZERS
 from ..tensor import Tensor, straight_through
 
 __all__ = [
@@ -74,6 +75,7 @@ def _uniform_levels(x: np.ndarray, levels: int) -> np.ndarray:
     return np.round(x * levels) / levels
 
 
+@QUANTIZERS.register("dorefa")
 class DoReFaQuantizer(Quantizer):
     """DoReFa-Net quantisation.
 
@@ -120,6 +122,7 @@ class DoReFaQuantizer(Quantizer):
                                 clip_high=self.activation_range)
 
 
+@QUANTIZERS.register("sbm")
 class SBMQuantizer(Quantizer):
     """Banner et al. scalable 8-bit-training style quantisation.
 
@@ -174,6 +177,7 @@ class SBMQuantizer(Quantizer):
         return straight_through(x, quantized)
 
 
+@QUANTIZERS.register("minmax")
 class MinMaxQuantizer(Quantizer):
     """Per-tensor affine (asymmetric) quantisation with zero point.
 
@@ -205,19 +209,17 @@ class MinMaxQuantizer(Quantizer):
         return straight_through(x, values)
 
 
-_REGISTRY = {
-    "dorefa": DoReFaQuantizer,
-    "sbm": SBMQuantizer,
-    "minmax": MinMaxQuantizer,
-}
-
-
 def make_quantizer(name: str, **kwargs) -> Quantizer:
-    """Instantiate a quantiser by registry name (``dorefa|sbm|minmax``)."""
+    """Instantiate a quantiser by registry name (``dorefa|sbm|minmax|...``).
+
+    Lookup routes through :data:`repro.api.registry.QUANTIZERS`, so
+    quantisers registered by downstream code are constructible by name.
+    """
     try:
-        cls = _REGISTRY[name.lower()]
+        cls = QUANTIZERS.get(name.lower())
     except KeyError:
         raise ValueError(
-            f"unknown quantizer {name!r}; available: {sorted(_REGISTRY)}"
+            f"unknown quantizer {name!r}; available: "
+            f"{list(QUANTIZERS.names())}"
         ) from None
     return cls(**kwargs)

@@ -12,7 +12,9 @@ latency estimates as the service-time oracle.
 """
 
 from .checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
     MODEL_BUILDERS,
+    CheckpointVersionError,
     SPNetConfig,
     build_sp_net,
     load_checkpoint,
@@ -51,6 +53,8 @@ from .simulator import (
 )
 
 __all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointVersionError",
     "MODEL_BUILDERS",
     "SPNetConfig",
     "build_sp_net",

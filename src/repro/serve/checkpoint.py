@@ -4,32 +4,46 @@ A checkpoint is two sibling files sharing one base path:
 
 * ``<base>.npz``  — every parameter and buffer of the wrapped model,
   saved under its dotted ``state_dict`` name;
-* ``<base>.json`` — metadata: the candidate bit-width set, the model
-  factory configuration needed to rebuild an identical topology
-  (:class:`SPNetConfig`), and a schema version.
+* ``<base>.json`` — metadata: a ``schema_version``, the candidate
+  bit-width set, and the model factory configuration needed to rebuild
+  an identical topology (:class:`SPNetConfig`).
 
 ``load_checkpoint`` rebuilds the model from the JSON config, loads the
 arrays, and returns a :class:`~repro.quant.SwitchablePrecisionNetwork`
 whose outputs match the saved network bit-for-bit at every candidate
 bit-width — the property the serving layer depends on to swap models in
 and out of memory without re-validation.
+
+Versioning: checkpoints written by this build carry
+``schema_version == 2``.  Version 1 (the previous ``"schema"`` key) and
+unversioned pre-release checkpoints still load — the latter with a
+:class:`UserWarning` — while a version from the future raises
+:class:`CheckpointVersionError` instead of mis-parsing silently.
+
+Model names resolve through :data:`repro.api.registry.MODELS`, plus the
+special name ``"derived"``: an SP-NAS-searched architecture embedded in
+the config's ``arch`` payload (search-space name, input size, per-layer
+block specs), which makes pipeline checkpoints self-contained.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import asdict, dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..nn.models import mobilenet_v2, resnet8, resnet18, resnet38, resnet74
+from ..api.registry import MODELS, SEARCH_SPACES
 from ..quant import SwitchableFactory, SwitchablePrecisionNetwork
 from ..quant.layers import BitSpec
 
 __all__ = [
-    "CHECKPOINT_SCHEMA",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
+    "CheckpointVersionError",
     "MODEL_BUILDERS",
     "SPNetConfig",
     "build_sp_net",
@@ -37,18 +51,40 @@ __all__ = [
     "load_checkpoint",
 ]
 
-CHECKPOINT_SCHEMA = 1
+CHECKPOINT_SCHEMA_VERSION = 2
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
-# Model zoo entries a checkpoint may name.  Builders share the
-# (num_classes, factory, width_mult) calling convention; MobileNetV2
-# additionally takes its input-resolution setting.
-MODEL_BUILDERS = {
-    "mobilenet_v2": mobilenet_v2,
-    "resnet8": resnet8,
-    "resnet18": resnet18,
-    "resnet38": resnet38,
-    "resnet74": resnet74,
-}
+
+class CheckpointVersionError(ValueError):
+    """The checkpoint's schema_version is newer than this build supports."""
+
+
+class _ModelBuilders:
+    """Backwards-compat mapping view over the MODELS registry.
+
+    Old call sites did ``MODEL_BUILDERS[name]`` / ``name in
+    MODEL_BUILDERS`` / ``sorted(MODEL_BUILDERS)``; all of that now
+    routes through :data:`repro.api.registry.MODELS`, so models
+    registered by downstream code are checkpointable too.
+    """
+
+    def __getitem__(self, name: str):
+        return MODELS.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in MODELS
+
+    def __iter__(self):
+        return iter(MODELS.names())
+
+    def __len__(self) -> int:
+        return len(MODELS)
+
+    def keys(self):
+        return MODELS.names()
+
+
+MODEL_BUILDERS = _ModelBuilders()
 
 
 @dataclass(frozen=True)
@@ -56,7 +92,9 @@ class SPNetConfig:
     """Everything needed to rebuild an SP-Net topology from scratch.
 
     ``bit_widths`` entries are ints or ``(weight_bits, activation_bits)``
-    pairs, exactly as the quantisation layer accepts them.
+    pairs, exactly as the quantisation layer accepts them.  ``model``
+    names a registry entry, or ``"derived"`` with the searched
+    architecture in ``arch`` (``{"space", "input_size", "specs"}``).
     """
 
     model: str = "mobilenet_v2"
@@ -68,12 +106,34 @@ class SPNetConfig:
     quantizer: str = "sbm"
     switchable_bn: bool = True
     activation: str = "relu6"
+    arch: Optional[Dict] = None     # "derived" models only
 
     def __post_init__(self):
-        if self.model not in MODEL_BUILDERS:
+        if self.model == "derived":
+            if not isinstance(self.arch, dict):
+                raise ValueError(
+                    "model 'derived' requires an arch payload "
+                    "{'space', 'input_size', 'specs'}"
+                )
+            missing = {"space", "input_size", "specs"} - set(self.arch)
+            if missing:
+                raise ValueError(
+                    f"derived arch payload missing keys {sorted(missing)}"
+                )
+            if self.arch["space"] not in SEARCH_SPACES:
+                raise ValueError(
+                    f"unknown search space {self.arch['space']!r}; "
+                    f"available: {list(SEARCH_SPACES.names())}"
+                )
+        elif self.model not in MODELS:
             raise ValueError(
                 f"unknown model {self.model!r}; available: "
-                f"{sorted(MODEL_BUILDERS)}"
+                f"{list(MODELS.names()) + ['derived']}"
+            )
+        elif self.arch is not None:
+            raise ValueError(
+                f"arch payload is only valid with model 'derived', "
+                f"got model {self.model!r}"
             )
         # Normalise list-of-lists (JSON round-trip) to the tuple forms
         # the quant layers key their candidate sets on.
@@ -86,6 +146,8 @@ class SPNetConfig:
         payload["bit_widths"] = [
             list(b) if isinstance(b, tuple) else b for b in self.bit_widths
         ]
+        if payload["arch"] is None:
+            del payload["arch"]
         return payload
 
     @classmethod
@@ -103,6 +165,24 @@ def _normalize_bit_widths(bit_widths) -> Tuple[BitSpec, ...]:
     return tuple(normalized)
 
 
+def _build_derived_model(config: "SPNetConfig", factory):
+    """Rebuild an SP-NAS architecture from its embedded arch payload."""
+    from ..core.spnas.derive import DerivedNetwork
+    from ..core.spnas.space import BlockSpec
+
+    arch = config.arch
+    space = SEARCH_SPACES.get(arch["space"])(int(arch["input_size"]))
+    specs = [
+        BlockSpec(
+            kind=s["kind"],
+            expansion=int(s.get("expansion", 1)),
+            kernel_size=int(s.get("kernel_size", 3)),
+        )
+        for s in arch["specs"]
+    ]
+    return DerivedNetwork(space, specs, factory, config.num_classes)
+
+
 def build_sp_net(config: SPNetConfig) -> SwitchablePrecisionNetwork:
     """Construct a freshly initialised SP-Net matching ``config``."""
     factory = SwitchableFactory(
@@ -111,15 +191,18 @@ def build_sp_net(config: SPNetConfig) -> SwitchablePrecisionNetwork:
         switchable_bn=config.switchable_bn,
         activation=config.activation,
     )
-    builder = MODEL_BUILDERS[config.model]
-    kwargs = dict(
-        num_classes=config.num_classes,
-        factory=factory,
-        width_mult=config.width_mult,
-    )
-    if config.model == "mobilenet_v2":
-        kwargs["setting"] = config.setting
-    model = builder(**kwargs)
+    if config.model == "derived":
+        model = _build_derived_model(config, factory)
+    else:
+        builder = MODELS.get(config.model)
+        kwargs = dict(
+            num_classes=config.num_classes,
+            factory=factory,
+            width_mult=config.width_mult,
+        )
+        if config.model == "mobilenet_v2":
+            kwargs["setting"] = config.setting
+        model = builder(**kwargs)
     return SwitchablePrecisionNetwork(model, list(config.bit_widths))
 
 
@@ -143,7 +226,7 @@ def save_checkpoint(
     npz_path, json_path = base + ".npz", base + ".json"
     np.savez(npz_path, **state)
     meta = {
-        "schema": CHECKPOINT_SCHEMA,
+        "schema_version": CHECKPOINT_SCHEMA_VERSION,
         "config": config.to_json_dict(),
         "num_arrays": len(state),
         "num_parameters": sp_net.num_parameters(),
@@ -154,6 +237,25 @@ def save_checkpoint(
     return npz_path, json_path
 
 
+def _check_schema_version(meta: Dict, json_path: str) -> None:
+    # v1 wrote the version under "schema"; v2+ use "schema_version".
+    version = meta.get("schema_version", meta.get("schema"))
+    if version is None:
+        warnings.warn(
+            f"checkpoint {json_path} has no schema_version; assuming a "
+            f"pre-versioning (v1) layout",
+            UserWarning,
+            stacklevel=3,
+        )
+        return
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise CheckpointVersionError(
+            f"checkpoint {json_path} has schema_version {version!r}; this "
+            f"build supports {list(SUPPORTED_SCHEMA_VERSIONS)} — upgrade "
+            f"the library or re-export the checkpoint"
+        )
+
+
 def load_checkpoint(
     path: str,
 ) -> Tuple[SwitchablePrecisionNetwork, SPNetConfig]:
@@ -162,11 +264,7 @@ def load_checkpoint(
     json_path, npz_path = base + ".json", base + ".npz"
     with open(json_path) as handle:
         meta = json.load(handle)
-    if meta.get("schema") != CHECKPOINT_SCHEMA:
-        raise ValueError(
-            f"unsupported checkpoint schema {meta.get('schema')!r} "
-            f"in {json_path}"
-        )
+    _check_schema_version(meta, json_path)
     config = SPNetConfig.from_json_dict(meta["config"])
     sp_net = build_sp_net(config)
     with np.load(npz_path) as arrays:

@@ -30,6 +30,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from ..api.registry import POLICIES
 from ..quant.layers import BitSpec
 from .engine import PolicyInputs
 
@@ -56,6 +57,7 @@ class PrecisionController:
         raise NotImplementedError
 
 
+@POLICIES.register("static")
 class StaticPolicy(PrecisionController):
     """Always serve at one fixed bit-width (default: the highest)."""
 
@@ -78,6 +80,7 @@ class StaticPolicy(PrecisionController):
         return self.bits
 
 
+@POLICIES.register("slo")
 class LatencySLOPolicy(PrecisionController):
     """Keep predicted tail latency inside an SLO, as precisely as possible.
 
@@ -140,6 +143,7 @@ class LatencySLOPolicy(PrecisionController):
         return ladder[0]
 
 
+@POLICIES.register("queue")
 class QueueDepthPolicy(PrecisionController):
     """Map backlog depth linearly onto the candidate precision ladder.
 
@@ -180,17 +184,18 @@ class QueueDepthPolicy(PrecisionController):
         return ladder[len(ladder) - 1 - rung]
 
 
-POLICY_NAMES = ("static", "slo", "queue")
+# Backwards-compat tuple, snapshotted at import time; consult
+# repro.api.registry.POLICIES (the source of truth) for the live list
+# including policies registered after this module loaded.
+POLICY_NAMES = POLICIES.names()
 
 
 def make_policy(name: str, **kwargs) -> PrecisionController:
-    """Instantiate a policy by registry name (``static|slo|queue``)."""
-    if name == "static":
-        return StaticPolicy(**kwargs)
-    if name == "slo":
-        return LatencySLOPolicy(**kwargs)
-    if name == "queue":
-        return QueueDepthPolicy(**kwargs)
-    raise ValueError(
-        f"unknown policy {name!r}; available: {sorted(POLICY_NAMES)}"
-    )
+    """Instantiate a policy by registry name (``static|slo|queue|...``)."""
+    try:
+        cls = POLICIES.get(name)
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {list(POLICIES.names())}"
+        ) from None
+    return cls(**kwargs)

@@ -33,11 +33,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from .. import rng as rng_mod
+from ..api.registry import POLICIES, SCENARIOS
 from ..data.synthetic import SyntheticSpec, make_synthetic
 from ..quant.layers import BitSpec
 from .checkpoint import SPNetConfig, build_sp_net
 from .engine import BitLatencyModel, InferenceEngine, InferenceRequest
-from .policies import POLICY_NAMES, make_policy
+from .policies import make_policy
 
 __all__ = [
     "ServeScale",
@@ -45,6 +46,9 @@ __all__ = [
     "SCENARIO_NAMES",
     "ServeReport",
     "SimFixture",
+    "constant_gaps",
+    "bursty_gaps",
+    "diurnal_gaps",
     "generate_requests",
     "prepare_simulation",
     "make_engine",
@@ -53,7 +57,10 @@ __all__ = [
     "format_reports",
 ]
 
-SCENARIO_NAMES = ("constant", "bursty", "diurnal")
+# Backwards-compat tuple, snapshotted at import time; consult
+# repro.api.registry.SCENARIOS (the source of truth) for the live list
+# including scenarios registered after this module loaded.
+SCENARIO_NAMES = SCENARIOS.names()
 
 
 @dataclass(frozen=True)
@@ -100,34 +107,63 @@ def get_serve_scale(scale) -> ServeScale:
 # ----------------------------------------------------------------------
 # Traffic generation
 # ----------------------------------------------------------------------
+# A scenario is any ``fn(n, capacity_rps, rng) -> gaps`` registered under
+# repro.api.registry.SCENARIOS; the decorator form lets downstream code
+# plug in new arrival processes that the CLI and pipeline pick up by name.
+
+
+@SCENARIOS.register("constant")
+def constant_gaps(
+    n: int, capacity_rps: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Poisson arrivals at ~0.55x capacity: the sized-for steady state."""
+    rate = 0.55 * capacity_rps
+    return rng.exponential(1.0 / rate, size=n)
+
+
+@SCENARIOS.register("bursty")
+def bursty_gaps(
+    n: int, capacity_rps: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Quiet trickle punctuated by hammering bursts.
+
+    Cycles of 24 requests at 0.35x capacity, then 24 arriving at 4x
+    capacity — the case InstantNet's instantaneous switching exists for.
+    """
+    quiet, burst = 24, 24
+    rates = np.empty(n)
+    for i in range(n):
+        in_cycle = i % (quiet + burst)
+        rates[i] = (
+            0.35 * capacity_rps if in_cycle < quiet else 4.0 * capacity_rps
+        )
+    return rng.exponential(1.0, size=n) / rates
+
+
+@SCENARIOS.register("diurnal")
+def diurnal_gaps(
+    n: int, capacity_rps: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Two "days" across the request stream; rate sweeps 0.1x-1.1x."""
+    cycles = 2.0
+    phase = 2.0 * math.pi * cycles * np.arange(n) / max(n, 1)
+    rates = capacity_rps * (0.6 + 0.5 * np.sin(phase))
+    rates = np.maximum(rates, 0.1 * capacity_rps)
+    return rng.exponential(1.0, size=n) / rates
+
+
 def _arrival_gaps(
     scenario: str, n: int, capacity_rps: float, rng: np.random.Generator
 ) -> np.ndarray:
     """Per-request interarrival gaps (seconds) for one scenario."""
-    if scenario == "constant":
-        rate = 0.55 * capacity_rps
-        return rng.exponential(1.0 / rate, size=n)
-    if scenario == "bursty":
-        # Cycles of a quiet trickle followed by a hammering burst: 24
-        # requests at 0.35x capacity, then 24 arriving at 4x capacity.
-        quiet, burst = 24, 24
-        rates = np.empty(n)
-        for i in range(n):
-            in_cycle = i % (quiet + burst)
-            rates[i] = (
-                0.35 * capacity_rps if in_cycle < quiet else 4.0 * capacity_rps
-            )
-        return rng.exponential(1.0, size=n) / rates
-    if scenario == "diurnal":
-        # Two "days" across the request stream; rate sweeps 0.1x-1.1x.
-        cycles = 2.0
-        phase = 2.0 * math.pi * cycles * np.arange(n) / max(n, 1)
-        rates = capacity_rps * (0.6 + 0.5 * np.sin(phase))
-        rates = np.maximum(rates, 0.1 * capacity_rps)
-        return rng.exponential(1.0, size=n) / rates
-    raise ValueError(
-        f"unknown scenario {scenario!r}; available: {sorted(SCENARIO_NAMES)}"
-    )
+    try:
+        generator = SCENARIOS.get(scenario)
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; available: "
+            f"{list(SCENARIOS.names())}"
+        ) from None
+    return generator(n, capacity_rps, rng)
 
 
 def generate_requests(
@@ -344,23 +380,28 @@ def prepare_simulation(
     scale="smoke",
     sp_net=None,
     config: Optional[SPNetConfig] = None,
+    latency_model: Optional[BitLatencyModel] = None,
 ) -> SimFixture:
     """Build (or adopt) the model, price it, and generate the traffic.
 
-    The single setup path shared by :func:`run_serve_sim` and the perf
-    bench, so the tracked ``serve_sim_bursty_slo`` op measures exactly
-    what ``repro serve-sim`` runs.  A ``config`` alone customises the
-    freshly built model; an existing ``sp_net`` requires its
-    :class:`SPNetConfig` alongside.  Either way the config overrides the
-    scale's model fields (image size, class count, bit-widths) so the
-    traffic and the latency oracle match the served model.
+    The single setup path shared by :func:`run_serve_sim`, the pipeline
+    ``serve`` stage, and the perf bench, so the tracked
+    ``serve_sim_bursty_slo`` op measures exactly what ``repro
+    serve-sim`` runs.  A ``config`` alone customises the freshly built
+    model; an existing ``sp_net`` requires its :class:`SPNetConfig`
+    alongside.  Either way the config overrides the scale's model fields
+    (image size, class count, bit-widths) so the traffic and the latency
+    oracle match the served model.  Pass ``latency_model`` to price the
+    engine from an existing source (e.g. a pipeline deploy artifact)
+    instead of running the cost-model search here.
     """
     import dataclasses
 
     cfg = get_serve_scale(scale)
-    if scenario not in SCENARIO_NAMES:
+    if scenario not in SCENARIOS:
         raise ValueError(
-            f"unknown scenario {scenario!r}; available: {sorted(SCENARIO_NAMES)}"
+            f"unknown scenario {scenario!r}; available: "
+            f"{list(SCENARIOS.names())}"
         )
     if config is None:
         if sp_net is not None:
@@ -385,9 +426,10 @@ def prepare_simulation(
         num_classes=config.num_classes,
         image_size=config.image_size,
     )
-    latency_model = BitLatencyModel.from_cost_model(
-        sp_net, cfg.image_size, generations=cfg.mapper_generations
-    )
+    if latency_model is None:
+        latency_model = BitLatencyModel.from_cost_model(
+            sp_net, cfg.image_size, generations=cfg.mapper_generations
+        )
     slo_s = cfg.slo_batches * latency_model.batch_latency_s(
         sp_net.highest, cfg.max_batch
     )
@@ -432,7 +474,9 @@ def run_serve_sim(
     """
     rng_mod.set_seed(seed)
     fixture = prepare_simulation(scenario, scale, sp_net=sp_net, config=config)
-    policies = list(POLICY_NAMES) if policy == "all" else [policy]
+    # "all" expands from the live registry, so policies registered after
+    # import are simulated too.
+    policies = list(POLICIES.names()) if policy == "all" else [policy]
     reports = []
     for name in policies:
         engine = make_engine(fixture, name)

@@ -1,0 +1,244 @@
+"""Component registries: error paths, lazy resolution, manifest lockstep."""
+
+import pytest
+
+from repro.api.manifest import choices, manifest
+from repro.api.registry import REGISTRIES, Registry, RegistryError
+
+
+class TestRegistryBasics:
+    def test_decorator_registration_and_get(self):
+        reg = Registry("widget")
+
+        @reg.register("spinner")
+        def make_spinner():
+            return "spin"
+
+        assert reg.get("spinner") is make_spinner
+        assert "spinner" in reg
+        assert reg.names() == ("spinner",)
+
+    def test_duplicate_registration_raises(self):
+        reg = Registry("widget")
+        reg.register("x", object())
+        with pytest.raises(RegistryError, match="already registered"):
+            reg.register("x", object())
+
+    def test_duplicate_lazy_registration_raises(self):
+        reg = Registry("widget")
+        reg.register_lazy("x", "json:loads")
+        with pytest.raises(RegistryError, match="already registered"):
+            reg.register_lazy("x", "json:dumps")
+
+    def test_override_flag_replaces(self):
+        reg = Registry("widget")
+        first, second = object(), object()
+        reg.register("x", first)
+        reg.register("x", second, override=True)
+        assert reg.get("x") is second
+
+    def test_unknown_name_lists_available(self):
+        reg = Registry("widget")
+        reg.register("left", object())
+        reg.register("right", object())
+        with pytest.raises(RegistryError, match=r"left.*right"):
+            reg.get("middle")
+
+    def test_registry_error_is_key_error(self):
+        reg = Registry("widget")
+        with pytest.raises(KeyError):
+            reg.get("nope")
+
+    def test_lazy_entry_resolves_on_get_only(self):
+        reg = Registry("widget")
+        reg.register_lazy("loads", "json:loads")
+        import json
+
+        assert reg.get("loads") is json.loads
+
+    def test_defining_module_may_claim_its_lazy_entry(self):
+        # The rule that lets repro.serve.policies decorate the names
+        # that registry.py pre-declares as lazy pointers into it.
+        reg = Registry("widget")
+        reg.register_lazy("loads", "json:loads")
+
+        def impostor():
+            pass
+
+        impostor.__module__ = "json"
+        reg.register("loads", impostor)  # claims the lazy entry
+        assert reg.get("loads") is impostor
+
+    def test_foreign_module_cannot_claim_lazy_entry(self):
+        reg = Registry("widget")
+        reg.register_lazy("loads", "json:loads")
+
+        def outsider():
+            pass
+
+        outsider.__module__ = "somewhere.else"
+        with pytest.raises(RegistryError, match="already registered"):
+            reg.register("loads", outsider)
+
+    def test_bad_lazy_spec_rejected(self):
+        reg = Registry("widget")
+        with pytest.raises(ValueError, match="module:attr"):
+            reg.register_lazy("x", "no-colon-here")
+
+
+class TestBuiltinsResolve:
+    """Every lazily declared built-in must import and resolve."""
+
+    @pytest.mark.parametrize("kind", sorted(REGISTRIES))
+    def test_all_entries_resolve(self, kind):
+        registry = REGISTRIES[kind]
+        for name in registry.names():
+            assert registry.get(name) is not None
+
+    def test_unknown_manifest_kind_rejected(self):
+        with pytest.raises(KeyError, match="unknown registry"):
+            choices("gadgets")
+
+
+class TestManifestConsistency:
+    """The import-free manifest stays in lockstep with what the defining
+    modules actually implement — the test that replaced the old
+    hand-copied CLI choice tuples.  Since the compat tuples
+    (POLICY_NAMES etc.) are themselves registry snapshots now, these
+    tests compare against *independent* evidence: the classes/functions
+    defined in each module, and the legacy dicts where they survive."""
+
+    def test_every_policy_class_is_registered(self):
+        import inspect
+
+        from repro.api.registry import POLICIES
+        from repro.serve import policies as module
+
+        registered = {POLICIES.get(name) for name in POLICIES.names()}
+        defined = {
+            obj for obj in vars(module).values()
+            if inspect.isclass(obj)
+            and issubclass(obj, module.PrecisionController)
+            and obj is not module.PrecisionController
+        }
+        assert defined == registered
+
+    def test_every_scenario_function_is_registered(self):
+        from repro.api.registry import SCENARIOS
+        from repro.serve import simulator as module
+
+        registered = {SCENARIOS.get(name) for name in SCENARIOS.names()}
+        defined = {
+            obj for name, obj in vars(module).items()
+            if name.endswith("_gaps") and not name.startswith("_")
+            and callable(obj)
+        }
+        assert defined == registered
+
+    def test_serve_scales_match_simulator(self):
+        from repro.serve.simulator import SERVE_SCALES
+
+        assert set(manifest()["serve_scales"]) == set(SERVE_SCALES)
+
+    def test_scales_match_experiments_common(self):
+        from repro.experiments.common import SCALES
+
+        assert set(manifest()["scales"]) == set(SCALES)
+
+    def test_every_experiment_module_is_registered(self):
+        import pkgutil
+
+        import repro.experiments
+
+        modules = {
+            m.name for m in pkgutil.iter_modules(repro.experiments.__path__)
+            if m.name.startswith(("fig", "table"))
+        }
+        assert modules == set(manifest()["experiments"])
+
+    def test_every_model_factory_is_registered(self):
+        import inspect
+
+        import repro.nn.models as zoo
+        from repro.api.registry import MODELS
+
+        registered = {MODELS.get(name) for name in MODELS.names()}
+        defined = {
+            obj for name in zoo.__all__
+            if inspect.isfunction(obj := getattr(zoo, name))
+        }
+        assert defined == registered
+
+    def test_checkpoint_builders_view_tracks_registry(self):
+        from repro.serve.checkpoint import MODEL_BUILDERS
+
+        assert set(manifest()["models"]) == set(MODEL_BUILDERS)
+
+    def test_quantizer_entries_construct(self):
+        from repro.quant.quantizers import Quantizer, make_quantizer
+
+        for name in manifest()["quantizers"]:
+            assert isinstance(make_quantizer(name), Quantizer)
+
+    def test_strategy_entries_are_strategies(self):
+        from repro.api.registry import STRATEGIES
+        from repro.core.cdt import SwitchableTrainingStrategy, make_strategy
+
+        for name in manifest()["strategies"]:
+            assert issubclass(STRATEGIES.get(name), SwitchableTrainingStrategy)
+            assert isinstance(make_strategy(name), SwitchableTrainingStrategy)
+
+
+class TestCustomComponentsFlowThrough:
+    """A component registered at runtime is reachable via the old
+    factory entry points — the registries are the source of truth."""
+
+    def test_custom_policy_reachable_via_make_policy(self):
+        from repro.api.registry import POLICIES
+        from repro.serve.policies import StaticPolicy, make_policy
+
+        name = "test-static-clone"
+        assert name not in POLICIES
+
+        @POLICIES.register(name)
+        class CloneStatic(StaticPolicy):
+            pass
+
+        try:
+            assert isinstance(make_policy(name), CloneStatic)
+        finally:
+            POLICIES._entries.pop(name, None)
+
+    def test_custom_scenario_reachable_via_arrival_gaps(self):
+        import numpy as np
+
+        from repro.api.registry import SCENARIOS
+        from repro.serve.simulator import _arrival_gaps
+
+        name = "test-metronome"
+        assert name not in SCENARIOS
+
+        @SCENARIOS.register(name)
+        def metronome(n, capacity_rps, rng):
+            return np.full(n, 1.0 / capacity_rps)
+
+        try:
+            gaps = _arrival_gaps(name, 5, 10.0, np.random.default_rng(0))
+            np.testing.assert_allclose(gaps, 0.1)
+        finally:
+            SCENARIOS._entries.pop(name, None)
+
+    def test_custom_scale_reachable_via_get_scale(self):
+        import dataclasses
+
+        from repro.api.registry import SCALES
+        from repro.experiments.common import get_scale
+
+        name = "test-nano"
+        assert name not in SCALES
+        nano = dataclasses.replace(get_scale("smoke"), name=name)
+        SCALES.register(name, nano)
+        try:
+            assert get_scale(name) is nano
+        finally:
+            SCALES._entries.pop(name, None)

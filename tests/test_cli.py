@@ -77,26 +77,61 @@ class TestHelp:
         assert excinfo.value.code == 2
 
 
-class TestServeSimChoicesSync:
-    """The serve-sim subparser hardcodes its choice tuples (importing the
-    serve subsystem at parser-build time would slow every CLI call ~3x);
-    this test pins them to the serve package's registries."""
+class TestChoicesComeFromManifest:
+    """CLI choice lists are built from the import-free registry manifest
+    (repro.api.manifest) rather than hand-copied literals; this pins the
+    parser to the manifest, and tests/test_api_registry.py pins the
+    manifest to the defining modules' own registries."""
 
-    def test_choices_match_serve_registries(self):
+    @staticmethod
+    def _subparser(name):
         import argparse
 
         from repro.__main__ import _build_parser
-        from repro.serve.policies import POLICY_NAMES
-        from repro.serve.simulator import SCENARIO_NAMES, SERVE_SCALES
 
         parser = _build_parser()
         subparsers = next(
             a for a in parser._actions
             if isinstance(a, argparse._SubParsersAction)
         )
-        serve = subparsers.choices["serve-sim"]
+        return subparsers.choices[name]
+
+    def test_serve_sim_choices_match_manifest(self):
+        from repro.api.manifest import manifest
+
+        names = manifest()
+        serve = self._subparser("serve-sim")
         choices = {a.dest: a.choices for a in serve._actions
                    if a.choices is not None}
-        assert set(choices["scenario"]) == set(SCENARIO_NAMES)
-        assert set(choices["policy"]) == {"all", *POLICY_NAMES}
-        assert set(choices["scale"]) == set(SERVE_SCALES)
+        assert tuple(choices["scenario"]) == names["scenarios"]
+        assert tuple(choices["policy"]) == ("all",) + names["policies"]
+        assert tuple(choices["scale"]) == names["serve_scales"]
+
+    def test_run_scale_choices_match_manifest(self):
+        from repro.api.manifest import manifest
+
+        run = self._subparser("run")
+        choices = {a.dest: a.choices for a in run._actions
+                   if a.choices is not None}
+        assert tuple(choices["scale"]) == manifest()["scales"]
+
+    def test_parser_build_does_not_import_serve_stack(self):
+        """The whole point of the lazy manifest: `repro --help` must not
+        pay for numpy-heavy subsystem imports."""
+        import subprocess
+
+        code = (
+            "import sys; import repro.__main__ as m; m._build_parser(); "
+            "heavy = [name for name in ('repro.serve', 'repro.quant', "
+            "'repro.experiments', 'repro.core', 'repro.hardware') "
+            "if name in sys.modules]; "
+            "sys.exit(2 if heavy else 0)"
+        )
+        import os
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, env=env,
+        )
+        assert proc.returncode == 0, proc.stderr.decode()

@@ -77,18 +77,69 @@ class TestCheckpointRoundTrip:
         assert loaded.bit_widths == sp_net.bit_widths
 
     def test_bad_schema_rejected(self, tmp_path):
-        cfg = small_config()
-        sp_net = build_sp_net(cfg)
-        _, json_path = save_checkpoint(sp_net, cfg, str(tmp_path / "m"))
-        import json as json_mod
-
-        with open(json_path) as handle:
-            meta = json_mod.load(handle)
-        meta["schema"] = 999
-        with open(json_path, "w") as handle:
-            json_mod.dump(meta, handle)
+        _, json_path = _saved_checkpoint(tmp_path)
+        _edit_meta(json_path, schema_version=999)
         with pytest.raises(ValueError, match="schema"):
             load_checkpoint(str(tmp_path / "m"))
+
+
+def _saved_checkpoint(tmp_path):
+    cfg = small_config()
+    sp_net = build_sp_net(cfg)
+    return save_checkpoint(sp_net, cfg, str(tmp_path / "m"))
+
+
+def _edit_meta(json_path, **changes):
+    import json as json_mod
+
+    with open(json_path) as handle:
+        meta = json_mod.load(handle)
+    for key, value in changes.items():
+        if value is None:
+            meta.pop(key, None)
+        else:
+            meta[key] = value
+    with open(json_path, "w") as handle:
+        json_mod.dump(meta, handle)
+
+
+class TestSchemaVersioning:
+    """schema_version gating: current + v1 load, future fails, legacy warns."""
+
+    def test_current_version_written_and_loads_silently(
+        self, tmp_path, recwarn
+    ):
+        import json as json_mod
+
+        from repro.serve import CHECKPOINT_SCHEMA_VERSION
+
+        _, json_path = _saved_checkpoint(tmp_path)
+        with open(json_path) as handle:
+            meta = json_mod.load(handle)
+        assert meta["schema_version"] == CHECKPOINT_SCHEMA_VERSION
+        load_checkpoint(str(tmp_path / "m"))
+        assert not [w for w in recwarn if "schema" in str(w.message)]
+
+    def test_v1_schema_key_still_loads(self, tmp_path):
+        _, json_path = _saved_checkpoint(tmp_path)
+        _edit_meta(json_path, schema_version=None, schema=1)
+        loaded, _ = load_checkpoint(str(tmp_path / "m"))
+        assert loaded.bit_widths == (4, 8, 16)
+
+    def test_future_version_raises_checkpoint_version_error(self, tmp_path):
+        from repro.serve import CheckpointVersionError
+
+        _, json_path = _saved_checkpoint(tmp_path)
+        _edit_meta(json_path, schema_version=99)
+        with pytest.raises(CheckpointVersionError, match="schema_version 99"):
+            load_checkpoint(str(tmp_path / "m"))
+
+    def test_unversioned_checkpoint_warns_but_loads(self, tmp_path):
+        _, json_path = _saved_checkpoint(tmp_path)
+        _edit_meta(json_path, schema_version=None, schema=None)
+        with pytest.warns(UserWarning, match="no schema_version"):
+            loaded, _ = load_checkpoint(str(tmp_path / "m"))
+        assert loaded.bit_widths == (4, 8, 16)
 
 
 class TestModelRegistry:
