@@ -36,6 +36,10 @@ done
 echo "==> serve-sim smoke (bursty scenario, all policies)"
 python -m repro serve-sim --scenario bursty --policy all --scale smoke --seed 0
 
+echo "==> fleet serve-sim smoke (4 replicas behind the least_queue router)"
+python -m repro serve-sim --scenario bursty --policy slo --scale smoke \
+    --replicas 4 --router least_queue --seed 0
+
 echo "==> perf bench smoke (gated on benchmarks/perf/baseline.json)"
 python -m repro bench --scale smoke
 

@@ -54,7 +54,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "replay a deterministic arrival scenario against the "
             "micro-batched inference engine and report latency "
             "percentiles, throughput, and the per-bit-width occupancy "
-            "histogram for each precision policy"
+            "histogram for each precision policy; --replicas switches "
+            "to a sharded replica fleet behind the chosen router, "
+            "optionally autoscaled up to --autoscale-max replicas"
         ),
     )
     serve.add_argument("--scenario", default="bursty",
@@ -64,6 +66,20 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--scale", default="smoke",
                        choices=choices("serve_scales"))
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--replicas", type=int, default=None, metavar="N",
+        help="serve through a fleet of N engine replicas "
+             "(default: one engine, no fleet layer)",
+    )
+    serve.add_argument(
+        "--router", default="least_queue", choices=choices("routers"),
+        help="fleet request router (with --replicas)",
+    )
+    serve.add_argument(
+        "--autoscale-max", type=int, default=None, metavar="MAX",
+        help="enable the fleet autoscaler, growing from --replicas "
+             "up to MAX replicas (implies the fleet layer)",
+    )
     serve.add_argument(
         "--output", default=None, metavar="PATH",
         help="also write the reports as JSON",
@@ -138,13 +154,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
     import json
 
-    from .serve import format_reports, run_serve_sim
+    fleet_mode = args.replicas is not None or args.autoscale_max is not None
+    if fleet_mode:
+        from .api.config import AutoscaleConfig, ConfigError
+        from .serve import format_fleet_reports, run_fleet_sim
 
-    reports = run_serve_sim(
-        scenario=args.scenario, policy=args.policy,
-        scale=args.scale, seed=args.seed,
-    )
-    print(format_reports(reports))
+        replicas = args.replicas if args.replicas is not None else 1
+        autoscale = None
+        if args.autoscale_max is not None:
+            try:
+                autoscale = AutoscaleConfig(
+                    min_replicas=min(replicas, args.autoscale_max),
+                    max_replicas=args.autoscale_max,
+                )
+            except ConfigError as exc:
+                print(f"invalid --autoscale-max: {exc}", file=sys.stderr)
+                return 2
+        if replicas < 1:
+            print(f"--replicas {replicas} must be >= 1", file=sys.stderr)
+            return 2
+        if autoscale is not None and replicas > autoscale.max_replicas:
+            print(
+                f"--replicas {replicas} exceeds --autoscale-max "
+                f"{autoscale.max_replicas}",
+                file=sys.stderr,
+            )
+            return 2
+        reports = run_fleet_sim(
+            scenario=args.scenario, policy=args.policy,
+            scale=args.scale, seed=args.seed,
+            replicas=replicas, router=args.router, autoscale=autoscale,
+        )
+        print(format_fleet_reports(reports))
+    else:
+        from .serve import format_reports, run_serve_sim
+
+        reports = run_serve_sim(
+            scenario=args.scenario, policy=args.policy,
+            scale=args.scale, seed=args.seed,
+        )
+        print(format_reports(reports))
     if args.output:
         with open(args.output, "w") as handle:
             json.dump(

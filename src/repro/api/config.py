@@ -32,6 +32,7 @@ __all__ = [
     "SearchConfig",
     "TrainConfig",
     "DeployConfig",
+    "AutoscaleConfig",
     "ServeConfig",
     "PipelineConfig",
 ]
@@ -325,8 +326,56 @@ class DeployConfig(_StageConfig):
 
 
 @dataclass(frozen=True)
+class AutoscaleConfig(_StageConfig):
+    """Fleet autoscaler bounds and signal thresholds.
+
+    Thresholds are scale-free: pressures are measured in full
+    micro-batches of backlog per active replica, and the cooldown in
+    full-batch service times at the highest precision — so one config
+    means the same thing whatever the model or device.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 4
+    up_pressure: float = 2.0          # backlog batches/replica -> scale up
+    down_pressure: float = 0.25       # backlog batches/replica -> scale down
+    cooldown_batches: float = 4.0     # quiet period between scale events
+
+    def _validate(self) -> None:
+        self._require_positive(
+            "min_replicas", "max_replicas", "up_pressure", "cooldown_batches"
+        )
+        if self.down_pressure < 0:
+            raise ConfigError(
+                f"AutoscaleConfig.down_pressure must be >= 0, "
+                f"got {self.down_pressure!r}"
+            )
+        if self.max_replicas < self.min_replicas:
+            raise ConfigError(
+                f"AutoscaleConfig.max_replicas ({self.max_replicas}) must "
+                f"be >= min_replicas ({self.min_replicas})"
+            )
+        if self.down_pressure >= self.up_pressure:
+            raise ConfigError(
+                f"AutoscaleConfig.down_pressure ({self.down_pressure}) "
+                f"must be < up_pressure ({self.up_pressure}) or the "
+                f"autoscaler would flap"
+            )
+
+
+@dataclass(frozen=True)
 class ServeConfig(_StageConfig):
-    """``serve`` stage: traffic replay against the inference engine."""
+    """``serve`` stage: traffic replay against the inference engine.
+
+    ``replicas > 1`` (or an ``autoscale`` section) serves through a
+    :class:`~repro.serve.cluster.ReplicaFleet` — engine replicas
+    materialized from the stage's checkpoint behind the named
+    ``router`` — instead of a single engine.  With ``replicas == 1``
+    and no ``autoscale`` section the fleet layer is skipped entirely
+    and ``router`` is unused (add ``autoscale`` — or use
+    ``repro serve-sim --replicas 1`` — to route through a
+    single-replica fleet).
+    """
 
     scenario: str = "bursty"
     policy: str = "all"
@@ -334,12 +383,16 @@ class ServeConfig(_StageConfig):
     max_batch: int = 8
     slo_batches: float = 2.5          # SLO as multiples of one full batch
     mapper_generations: int = 3       # latency pricing when deploy skipped
+    replicas: int = 1
+    router: str = "least_queue"
+    autoscale: Optional[AutoscaleConfig] = None
 
-    _CHOICES = {"scenario": "scenarios"}
+    _CHOICES = {"scenario": "scenarios", "router": "routers"}
 
     def _validate(self) -> None:
         self._require_positive(
-            "num_requests", "max_batch", "slo_batches", "mapper_generations"
+            "num_requests", "max_batch", "slo_batches", "mapper_generations",
+            "replicas",
         )
         valid = ("all",) + choices("policies")
         if self.policy not in valid:
@@ -347,6 +400,15 @@ class ServeConfig(_StageConfig):
                 f"ServeConfig.policy: unknown policy {self.policy!r}; "
                 f"available: {list(valid)}"
             )
+        if self.autoscale is not None:
+            low, high = (
+                self.autoscale.min_replicas, self.autoscale.max_replicas
+            )
+            if not low <= self.replicas <= high:
+                raise ConfigError(
+                    f"ServeConfig.replicas ({self.replicas}) must lie in "
+                    f"the autoscale range [{low}, {high}]"
+                )
 
 
 _NESTED: Dict[str, type] = {}
@@ -399,4 +461,5 @@ _NESTED.update(
     train=TrainConfig,
     deploy=DeployConfig,
     serve=ServeConfig,
+    autoscale=AutoscaleConfig,
 )

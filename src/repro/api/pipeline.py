@@ -363,14 +363,20 @@ class Pipeline:
         price the engine — the deployment the mapper found is exactly
         what serving simulates.  Otherwise the serve stage runs its own
         (cheaper) latency-metric search.
+
+        ``serve.replicas > 1`` (or a ``serve.autoscale`` section) serves
+        through a :class:`~repro.serve.cluster.ReplicaFleet` behind the
+        configured router, every replica materialized independently
+        from the stage's checkpoint via
+        :class:`~repro.serve.registry.ModelRegistry`.
         """
         from ..serve.engine import BitLatencyModel
         from ..serve.simulator import (
             ServeScale,
             build_report,
-            generate_requests,
             make_engine,
             prepare_simulation,
+            simulate,
         )
 
         cfg = self.config
@@ -418,20 +424,49 @@ class Pipeline:
             list(POLICIES.names()) if cfg.serve.policy == "all"
             else [cfg.serve.policy]
         )
+        fleet_mode = (
+            cfg.serve.replicas > 1 or cfg.serve.autoscale is not None
+        )
         reports = []
-        for name in policies:
-            engine = make_engine(fixture, name)
-            from ..serve.simulator import simulate
-
-            end_s = simulate(engine, fixture.requests)
-            reports.append(
-                build_report(
-                    cfg.serve.scenario, name, fixture.scale, engine,
-                    end_s, fixture.slo_s,
-                )
+        if fleet_mode:
+            from ..serve.cluster import (
+                build_fleet_report,
+                make_fleet,
+                simulate_fleet,
             )
+            from ..serve.registry import ModelRegistry
+
+            # Replicas materialize independently from the stage's own
+            # checkpoint: the fleet serves exactly what train saved.
+            registry = ModelRegistry(self.run_dir)
+            for name in policies:
+                fleet = make_fleet(
+                    fixture, name,
+                    replicas=cfg.serve.replicas,
+                    router=cfg.serve.router,
+                    autoscale=cfg.serve.autoscale,
+                    registry=registry, model_name="checkpoint",
+                )
+                end_s = simulate_fleet(fleet, fixture.requests)
+                reports.append(
+                    build_fleet_report(
+                        cfg.serve.scenario, name, fixture.scale, fleet,
+                        end_s, fixture.slo_s,
+                    )
+                )
+        else:
+            for name in policies:
+                engine = make_engine(fixture, name)
+                end_s = simulate(engine, fixture.requests)
+                reports.append(
+                    build_report(
+                        cfg.serve.scenario, name, fixture.scale, engine,
+                        end_s, fixture.slo_s,
+                    )
+                )
         artifact = {
             "scenario": cfg.serve.scenario,
+            "mode": "fleet" if fleet_mode else "single",
             "latency_source": "deploy" if latency_model else "serve-search",
             "reports": [r.to_json_dict() for r in reports],
             "seconds": round(time.time() - start, 3),

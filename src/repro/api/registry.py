@@ -31,10 +31,12 @@ from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 __all__ = [
     "Registry",
     "RegistryError",
+    "RegistryNames",
     "REGISTRIES",
     "MODELS",
     "QUANTIZERS",
     "POLICIES",
+    "ROUTERS",
     "SCENARIOS",
     "SEARCH_SPACES",
     "DEVICES",
@@ -171,6 +173,58 @@ class Registry:
         return f"Registry({self.kind!r}, {list(self.names())})"
 
 
+class RegistryNames:
+    """Live, tuple-like view of a registry's names.
+
+    The backwards-compat name lists (``POLICY_NAMES``,
+    ``SCENARIO_NAMES``, ...) used to be import-time snapshots of
+    :meth:`Registry.names`, which silently missed components registered
+    after the defining module loaded.  This view always reads the
+    registry, so iteration, membership, indexing, and equality against
+    tuples/lists reflect the current registration state.
+    """
+
+    __slots__ = ("_registry",)
+
+    def __init__(self, registry: Registry):
+        self._registry = registry
+
+    def _names(self) -> Tuple[str, ...]:
+        return self._registry.names()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names())
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def __getitem__(self, index):
+        return self._names()[index]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._registry
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RegistryNames):
+            return self._names() == other._names()
+        if isinstance(other, (tuple, list)):
+            return self._names() == tuple(other)
+        return NotImplemented
+
+    def __hash__(self):
+        # Live views are unhashable: their contents change over time.
+        raise TypeError(f"unhashable live view {self!r}")
+
+    def index(self, name: str) -> int:
+        return self._names().index(name)
+
+    def count(self, name: str) -> int:
+        return self._names().count(name)
+
+    def __repr__(self) -> str:
+        return repr(self._names())
+
+
 # ----------------------------------------------------------------------
 # Built-in declarations (import-free: strings only).
 # tests/test_api_registry.py asserts every entry resolves and matches
@@ -192,6 +246,13 @@ POLICIES = Registry("policy")
 POLICIES.register_lazy("static", "repro.serve.policies:StaticPolicy")
 POLICIES.register_lazy("slo", "repro.serve.policies:LatencySLOPolicy")
 POLICIES.register_lazy("queue", "repro.serve.policies:QueueDepthPolicy")
+
+ROUTERS = Registry("router")
+ROUTERS.register_lazy("round_robin", "repro.serve.routing:RoundRobinRouter")
+ROUTERS.register_lazy("least_queue", "repro.serve.routing:LeastQueueRouter")
+ROUTERS.register_lazy(
+    "latency_aware", "repro.serve.routing:LatencyAwareRouter"
+)
 
 SCENARIOS = Registry("scenario")
 SCENARIOS.register_lazy("constant", "repro.serve.simulator:constant_gaps")
@@ -234,6 +295,7 @@ REGISTRIES: Dict[str, Registry] = {
     "models": MODELS,
     "quantizers": QUANTIZERS,
     "policies": POLICIES,
+    "routers": ROUTERS,
     "scenarios": SCENARIOS,
     "search_spaces": SEARCH_SPACES,
     "devices": DEVICES,

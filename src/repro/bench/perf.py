@@ -251,18 +251,28 @@ def _bench_serve(scale: BenchScale) -> Dict[str, Dict[str, float]]:
     and the real batched forwards — on a fixed bursty arrival trace.
     The reference run disables the conv fast paths and quantised-weight
     cache, pricing the same simulation on the pre-fast-engine kernels.
+
+    ``serve_fleet_sim_bursty`` runs the same trace through a 4-replica
+    fleet behind the least-queue router (fleet spin-up — four private
+    model instances — plus routing and multi-server dispatch included),
+    and ``serve_fleet_autoscale_burst`` through an autoscaled fleet
+    (1 -> 4 replicas, latency-aware router), tracking the fleet layer's
+    wall-clock on top of the single-engine path.
     """
     import dataclasses
     import shutil
     import tempfile
 
+    from ..api.config import AutoscaleConfig
     from ..quant import weight_cache
     from ..serve import (
         load_checkpoint,
         make_engine,
+        make_fleet,
         prepare_simulation,
         save_checkpoint,
         simulate,
+        simulate_fleet,
     )
     from ..serve.simulator import SERVE_SCALES
     from ..tensor import fast_conv
@@ -286,6 +296,26 @@ def _bench_serve(scale: BenchScale) -> Dict[str, Dict[str, float]]:
     fast_s = _median_seconds(run_sim, scale.serve_repeats)
     ref_s = _median_seconds(run_sim_reference, scale.serve_repeats)
     ops["serve_sim_bursty_slo"] = {"median_s": fast_s, "reference_s": ref_s}
+
+    def run_fleet():
+        fleet = make_fleet(
+            fixture, "slo", replicas=4, router="least_queue"
+        )
+        simulate_fleet(fleet, fixture.requests)
+
+    def run_autoscaled_fleet():
+        fleet = make_fleet(
+            fixture, "slo", replicas=1, router="latency_aware",
+            autoscale=AutoscaleConfig(min_replicas=1, max_replicas=4),
+        )
+        simulate_fleet(fleet, fixture.requests)
+
+    ops["serve_fleet_sim_bursty"] = {
+        "median_s": _median_seconds(run_fleet, scale.serve_repeats)
+    }
+    ops["serve_fleet_autoscale_burst"] = {
+        "median_s": _median_seconds(run_autoscaled_fleet, scale.serve_repeats)
+    }
 
     tmp = tempfile.mkdtemp(prefix="repro-bench-ckpt-")
     try:

@@ -4,11 +4,14 @@ What InstantNet trains, this package serves: checkpoint I/O and a named
 model registry for persistence, a micro-batched
 :class:`~repro.serve.engine.InferenceEngine` whose per-batch bit-width
 is picked by a pluggable
-:class:`~repro.serve.policies.PrecisionController`, and a deterministic
-traffic simulator (:mod:`repro.serve.simulator`,
+:class:`~repro.serve.policies.PrecisionController`, a
+:class:`~repro.serve.cluster.ReplicaFleet` that shards traffic across
+engine replicas behind a pluggable
+:class:`~repro.serve.routing.Router` with deterministic autoscaling,
+and a deterministic traffic simulator (:mod:`repro.serve.simulator`,
 ``python -m repro serve-sim``) that replays constant / bursty / diurnal
-arrival scenarios against the engine using the hardware cost model's
-latency estimates as the service-time oracle.
+arrival scenarios against an engine or a whole fleet using the hardware
+cost model's latency estimates as the service-time oracle.
 """
 
 from .checkpoint import (
@@ -37,7 +40,28 @@ from .policies import (
     StaticPolicy,
     make_policy,
 )
+from .cluster import (
+    Autoscaler,
+    FleetReport,
+    ReplicaFleet,
+    ScaleEvent,
+    build_fleet_report,
+    format_fleet_reports,
+    make_fleet,
+    run_fleet_sim,
+    simulate_fleet,
+)
 from .registry import ModelRegistry
+from .routing import (
+    ROUTER_NAMES,
+    LatencyAwareRouter,
+    LeastQueueRouter,
+    ReplicaSnapshot,
+    RoundRobinRouter,
+    Router,
+    RouterInputs,
+    make_router,
+)
 from .simulator import (
     SCENARIO_NAMES,
     SERVE_SCALES,
@@ -74,6 +98,23 @@ __all__ = [
     "StaticPolicy",
     "make_policy",
     "ModelRegistry",
+    "Autoscaler",
+    "FleetReport",
+    "ReplicaFleet",
+    "ScaleEvent",
+    "build_fleet_report",
+    "format_fleet_reports",
+    "make_fleet",
+    "run_fleet_sim",
+    "simulate_fleet",
+    "ROUTER_NAMES",
+    "LatencyAwareRouter",
+    "LeastQueueRouter",
+    "ReplicaSnapshot",
+    "RoundRobinRouter",
+    "Router",
+    "RouterInputs",
+    "make_router",
     "SCENARIO_NAMES",
     "SERVE_SCALES",
     "ServeReport",

@@ -23,6 +23,14 @@ Three built-in policies:
 All three are deterministic pure functions of the
 :class:`~repro.serve.engine.PolicyInputs` snapshot, which keeps the
 traffic simulator bit-exactly reproducible.
+
+Policies are stateless with respect to the engine they serve: defaults
+(e.g. "the highest candidate bit-width", "four full micro-batches of
+backlog") resolve per decision from the :class:`PolicyInputs` snapshot,
+never baked into the instance at :meth:`~PrecisionController.attach`
+time.  One policy instance can therefore be shared across every replica
+of a fleet, or re-attached to a different engine, without carrying
+stale configuration over.
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-from ..api.registry import POLICIES
+from ..api.registry import POLICIES, RegistryNames
 from ..quant.layers import BitSpec
 from .engine import PolicyInputs
 
@@ -45,12 +53,24 @@ __all__ = [
 
 
 class PrecisionController:
-    """Interface: pick a bit-width for each dispatched micro-batch."""
+    """Interface: pick a bit-width for each dispatched micro-batch.
+
+    ``attach`` is called by every engine that adopts the policy; it may
+    validate the policy's configuration against the engine but MUST NOT
+    bake engine-derived state into the instance — an instance can be
+    attached to many engines (fleet replicas) and each decision sees the
+    dispatching engine's own :class:`PolicyInputs`.  Re-attaching simply
+    re-validates against the new engine.
+    """
 
     name = "base"
 
     def attach(self, engine) -> None:
-        """Called once by the engine; default keeps a back-reference."""
+        """Validate against ``engine``; default keeps a back-reference.
+
+        ``self.engine`` always points at the most recently attached
+        engine (a debugging convenience only — decisions never read it).
+        """
         self.engine = engine
 
     def choose_bits(self, inputs: PolicyInputs) -> BitSpec:
@@ -59,7 +79,14 @@ class PrecisionController:
 
 @POLICIES.register("static")
 class StaticPolicy(PrecisionController):
-    """Always serve at one fixed bit-width (default: the highest)."""
+    """Always serve at one fixed bit-width (default: the highest).
+
+    ``bits=None`` means "the highest candidate of whichever engine
+    dispatches" — resolved per decision from the inputs snapshot, so a
+    default-constructed instance shared across replicas (or re-attached
+    to an engine with a different candidate set) never serves a stale
+    bit-width.
+    """
 
     name = "static"
 
@@ -68,15 +95,26 @@ class StaticPolicy(PrecisionController):
 
     def attach(self, engine) -> None:
         super().attach(engine)
-        if self.bits is None:
-            self.bits = engine.sp_net.highest
-        elif self.bits not in engine.sp_net.bit_widths:
+        if (
+            self.bits is not None
+            and self.bits not in engine.sp_net.bit_widths
+        ):
             raise ValueError(
                 f"static bits {self.bits} not in candidate set "
                 f"{engine.sp_net.bit_widths}"
             )
 
     def choose_bits(self, inputs: PolicyInputs) -> BitSpec:
+        if self.bits is None:
+            # bit_widths arrives sorted ascending (the engine passes
+            # SwitchablePrecisionNetwork.bit_widths), so the last entry
+            # is the highest precision of the dispatching engine.
+            return inputs.bit_widths[-1]
+        if self.bits not in inputs.bit_widths:
+            raise ValueError(
+                f"static bits {self.bits} not in candidate set "
+                f"{inputs.bit_widths}"
+            )
         return self.bits
 
 
@@ -130,13 +168,21 @@ class LatencySLOPolicy(PrecisionController):
             inputs.recent_p95_s is not None
             and inputs.recent_p95_s > self.slo_s
         )
-        if over_slo and inputs.current_bits in ladder:
+        if over_slo:
             # Feedback clamp: the measured window p95 already violates the
             # SLO, so the analytic model is being optimistic — only
             # precisions strictly faster than the current one are eligible
             # (at the bottom rung: stay there) until the window recovers.
-            cur = ladder.index(inputs.current_bits)
-            allowed = list(reversed(ladder[:max(cur, 1)]))
+            if inputs.current_bits in ladder:
+                cur = ladder.index(inputs.current_bits)
+                allowed = list(reversed(ladder[:max(cur, 1)]))
+            else:
+                # current_bits is not in this engine's candidate ladder
+                # (policy reused across checkpoints with different bit
+                # sets): there is no "step below current", so fall back
+                # to the fastest rung instead of silently ignoring the
+                # clamp and serving above the SLO.
+                allowed = [ladder[0]]
         for bits in allowed:
             if self._predicted_latency_s(inputs, bits) <= budget:
                 return bits
@@ -148,8 +194,11 @@ class QueueDepthPolicy(PrecisionController):
     """Map backlog depth linearly onto the candidate precision ladder.
 
     ``depth <= low`` serves at the highest precision, ``depth >= high``
-    at the lowest, with evenly spaced rungs in between.  ``high`` defaults
-    to four full micro-batches of backlog.
+    at the lowest, with evenly spaced rungs in between.  ``high``
+    defaults to four full micro-batches of backlog, resolved per
+    decision from the dispatching engine's ``max_batch`` (never baked
+    in at attach time, so the instance can serve engines with different
+    batch limits).
     """
 
     name = "queue"
@@ -162,10 +211,11 @@ class QueueDepthPolicy(PrecisionController):
         self.low = int(low)
         self.high = high
 
-    def attach(self, engine) -> None:
-        super().attach(engine)
-        if self.high is None:
-            self.high = self.low + 4 * engine.max_batch
+    def saturation_depth(self, max_batch: int) -> int:
+        """The backlog depth mapped to the lowest precision."""
+        if self.high is not None:
+            return self.high
+        return self.low + 4 * max_batch
 
     def choose_bits(self, inputs: PolicyInputs) -> BitSpec:
         ladder = sorted(
@@ -173,21 +223,23 @@ class QueueDepthPolicy(PrecisionController):
             key=lambda b: inputs.latency_model.per_image_s[b],
         )  # fastest (lowest precision) first
         depth = inputs.queue_depth
+        high = self.saturation_depth(inputs.max_batch)
         if depth <= self.low:
             return ladder[-1]
-        if depth >= self.high:
+        if depth >= high:
             return ladder[0]
-        span = self.high - self.low
+        span = high - self.low
         # Fraction of the way to saturation -> rung from the top.
         frac = (depth - self.low) / span
         rung = int(frac * (len(ladder) - 1) + 0.5)
         return ladder[len(ladder) - 1 - rung]
 
 
-# Backwards-compat tuple, snapshotted at import time; consult
-# repro.api.registry.POLICIES (the source of truth) for the live list
-# including policies registered after this module loaded.
-POLICY_NAMES = POLICIES.names()
+# Backwards-compat name list.  A LIVE view over repro.api.registry
+# POLICIES (like serve.checkpoint.MODEL_BUILDERS over MODELS): policies
+# registered after this module loaded show up here too, instead of the
+# stale import-time snapshot this used to be.
+POLICY_NAMES = RegistryNames(POLICIES)
 
 
 def make_policy(name: str, **kwargs) -> PrecisionController:

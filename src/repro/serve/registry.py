@@ -75,6 +75,35 @@ class ModelRegistry:
     def config(self, name: str) -> SPNetConfig:
         return self.get_with_config(name)[1]
 
+    def materialize(
+        self, name: str
+    ) -> Tuple[SwitchablePrecisionNetwork, SPNetConfig]:
+        """A FRESH, independently-owned instance of ``name``.
+
+        Unlike :meth:`get` (which shares one cached live instance), every
+        call rebuilds the model from its checkpoint, so fleet replicas
+        each own a private network — per-replica bit-switching and
+        weight-cache state never interfere.  A live-only model (never
+        persisted) is checkpointed first when the registry has a root;
+        without one there is nothing to rematerialise from, so the call
+        fails rather than silently handing out the shared instance.
+        """
+        path = self._checkpoint_base(name)
+        if path is None and name in self._live:
+            if self.root is None:
+                raise ValueError(
+                    f"model {name!r} is live-only and the registry has no "
+                    f"root directory — persist it (register(..., "
+                    f"persist=True)) before materializing replicas"
+                )
+            self.save(name)
+            path = self._checkpoint_base(name)
+        if path is None:
+            raise KeyError(
+                f"unknown model {name!r}; registered: {self.names()}"
+            )
+        return load_checkpoint(path)
+
     def evict(self, name: str) -> bool:
         """Drop the live instance (its checkpoint, if any, survives)."""
         return self._live.pop(name, None) is not None

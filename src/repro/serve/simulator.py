@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from .. import rng as rng_mod
-from ..api.registry import POLICIES, SCENARIOS
+from ..api.registry import POLICIES, SCENARIOS, RegistryNames
 from ..data.synthetic import SyntheticSpec, make_synthetic
 from ..quant.layers import BitSpec
 from .checkpoint import SPNetConfig, build_sp_net
@@ -57,10 +57,10 @@ __all__ = [
     "format_reports",
 ]
 
-# Backwards-compat tuple, snapshotted at import time; consult
-# repro.api.registry.SCENARIOS (the source of truth) for the live list
-# including scenarios registered after this module loaded.
-SCENARIO_NAMES = SCENARIOS.names()
+# Backwards-compat name list: a LIVE view over repro.api.registry
+# SCENARIOS, so scenarios registered after this module loaded show up
+# too (this used to be a stale import-time snapshot).
+SCENARIO_NAMES = RegistryNames(SCENARIOS)
 
 
 @dataclass(frozen=True)

@@ -5,6 +5,7 @@ import dataclasses
 import pytest
 
 from repro.api.config import (
+    AutoscaleConfig,
     ConfigError,
     DeployConfig,
     ModelConfig,
@@ -15,8 +16,8 @@ from repro.api.config import (
 )
 
 ALL_CONFIG_CLASSES = (
-    ModelConfig, SearchConfig, TrainConfig, DeployConfig, ServeConfig,
-    PipelineConfig,
+    ModelConfig, SearchConfig, TrainConfig, DeployConfig, AutoscaleConfig,
+    ServeConfig, PipelineConfig,
 )
 
 NON_DEFAULT = {
@@ -38,9 +39,15 @@ NON_DEFAULT = {
         device="zc706", metric="latency", generations=2, pipeline=True,
         warm_start=False, batch=4,
     ),
+    AutoscaleConfig: dict(
+        min_replicas=2, max_replicas=6, up_pressure=1.5,
+        down_pressure=0.5, cooldown_batches=2.0,
+    ),
     ServeConfig: dict(
         scenario="diurnal", policy="queue", num_requests=32, max_batch=4,
-        slo_batches=1.5, mapper_generations=2,
+        slo_batches=1.5, mapper_generations=2, replicas=3,
+        router="latency_aware",
+        autoscale=AutoscaleConfig(min_replicas=1, max_replicas=4),
     ),
     PipelineConfig: dict(
         name="trip", seed=7, run_dir="runs/elsewhere",
@@ -115,6 +122,7 @@ class TestLoadErrors:
         (DeployConfig, "device", "tpu"),
         (ServeConfig, "scenario", "flashmob"),
         (ServeConfig, "policy", "yolo"),
+        (ServeConfig, "router", "dice"),
     ])
     def test_unknown_names_list_available(self, cls, field, value):
         with pytest.raises(ConfigError, match="available"):
@@ -123,12 +131,30 @@ class TestLoadErrors:
     @pytest.mark.parametrize("cls,field", [
         (TrainConfig, "epochs"),
         (ServeConfig, "num_requests"),
+        (ServeConfig, "replicas"),
         (DeployConfig, "generations"),
         (ModelConfig, "image_size"),
     ])
     def test_non_positive_rejected(self, cls, field):
         with pytest.raises(ConfigError, match="must be positive"):
             cls(**{field: 0})
+
+    def test_nested_autoscale_section_round_trips_from_json(self):
+        config = ServeConfig.from_dict({
+            "replicas": 2,
+            "router": "round_robin",
+            "autoscale": {"min_replicas": 1, "max_replicas": 3},
+        })
+        assert isinstance(config.autoscale, AutoscaleConfig)
+        assert config.autoscale.max_replicas == 3
+        assert ServeConfig.from_json(config.to_json()) == config
+
+    def test_replicas_outside_autoscale_range_rejected(self):
+        with pytest.raises(ConfigError, match="autoscale range"):
+            ServeConfig(
+                replicas=8,
+                autoscale=AutoscaleConfig(min_replicas=1, max_replicas=4),
+            )
 
     def test_empty_bit_widths_rejected(self):
         with pytest.raises(ConfigError, match="bit_widths"):

@@ -123,6 +123,21 @@ class TestManifestConsistency:
         }
         assert defined == registered
 
+    def test_every_router_class_is_registered(self):
+        import inspect
+
+        from repro.api.registry import ROUTERS
+        from repro.serve import routing as module
+
+        registered = {ROUTERS.get(name) for name in ROUTERS.names()}
+        defined = {
+            obj for obj in vars(module).values()
+            if inspect.isclass(obj)
+            and issubclass(obj, module.Router)
+            and obj is not module.Router
+        }
+        assert defined == registered
+
     def test_every_scenario_function_is_registered(self):
         from repro.api.registry import SCENARIOS
         from repro.serve import simulator as module
@@ -227,6 +242,61 @@ class TestCustomComponentsFlowThrough:
             np.testing.assert_allclose(gaps, 0.1)
         finally:
             SCENARIOS._entries.pop(name, None)
+
+    def test_policy_names_is_live_view(self):
+        """Regression: POLICY_NAMES used to be an import-time snapshot
+        that silently missed later-registered policies."""
+        from repro.api.registry import POLICIES
+        from repro.serve.policies import POLICY_NAMES, StaticPolicy
+
+        name = "test-late-policy"
+        assert name not in POLICY_NAMES
+        assert tuple(POLICY_NAMES) == POLICIES.names()
+
+        @POLICIES.register(name)
+        class Late(StaticPolicy):
+            pass
+
+        try:
+            assert name in POLICY_NAMES
+            assert name in list(POLICY_NAMES)
+            assert POLICY_NAMES == POLICIES.names()
+            assert POLICY_NAMES[-1] == name
+        finally:
+            POLICIES._entries.pop(name, None)
+        assert name not in POLICY_NAMES
+
+    def test_scenario_names_is_live_view(self):
+        import numpy as np
+
+        from repro.api.registry import SCENARIOS
+        from repro.serve.simulator import SCENARIO_NAMES
+
+        name = "test-late-scenario"
+        assert name not in SCENARIO_NAMES
+
+        @SCENARIOS.register(name)
+        def late_gaps(n, capacity_rps, rng):
+            return np.full(n, 1.0 / capacity_rps)
+
+        try:
+            assert name in SCENARIO_NAMES
+            assert SCENARIO_NAMES == SCENARIOS.names()
+        finally:
+            SCENARIOS._entries.pop(name, None)
+        assert name not in SCENARIO_NAMES
+
+    def test_registry_names_view_equality_and_errors(self):
+        from repro.api.registry import Registry, RegistryNames
+
+        reg = Registry("widget")
+        reg.register("a", object())
+        view = RegistryNames(reg)
+        assert view == ("a",) and view == ["a"] and len(view) == 1
+        assert view != ("b",)
+        assert view.index("a") == 0 and view.count("a") == 1
+        with pytest.raises(TypeError, match="unhashable"):
+            hash(view)
 
     def test_custom_scale_reachable_via_get_scale(self):
         import dataclasses

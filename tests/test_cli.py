@@ -106,6 +106,7 @@ class TestChoicesComeFromManifest:
         assert tuple(choices["scenario"]) == names["scenarios"]
         assert tuple(choices["policy"]) == ("all",) + names["policies"]
         assert tuple(choices["scale"]) == names["serve_scales"]
+        assert tuple(choices["router"]) == names["routers"]
 
     def test_run_scale_choices_match_manifest(self):
         from repro.api.manifest import manifest

@@ -122,6 +122,39 @@ class TestEndToEnd:
                     again(Tensor(x), bits=bits).data,
                 )
 
+    def test_fleet_serve_stage_materializes_replicas(self, tmp_path):
+        """serve.replicas > 1 runs the fleet path: replicas built from
+        the stage checkpoint, fleet metrics + per-replica occupancy and
+        autoscale events in the artifact."""
+        from repro.api.config import AutoscaleConfig
+
+        config = zoo_config(
+            serve=ServeConfig(
+                scenario="bursty", policy="slo", num_requests=48,
+                max_batch=8, mapper_generations=2,
+                replicas=2, router="least_queue",
+                autoscale=AutoscaleConfig(min_replicas=1, max_replicas=4),
+            ),
+        )
+        result = run_pipeline(config, run_dir=str(tmp_path / "run"))
+        serve = json.loads(Path(result.artifacts["serve"]).read_text())
+        assert serve["mode"] == "fleet"
+        assert serve["latency_source"] == "deploy"
+        (report,) = serve["reports"]
+        assert report["router"] == "least_queue"
+        assert report["replicas"] == 2 and report["max_replicas"] == 4
+        assert report["autoscaled"] is True
+        assert len(report["per_replica"]) >= 2
+        assert isinstance(report["scale_events"], list)
+        for key in ("latency_p50_s", "latency_p95_s", "latency_p99_s"):
+            assert report[key] > 0
+        assert sum(report["occupancy"].values()) == 48
+
+    def test_single_engine_serve_stage_reports_single_mode(self, tmp_path):
+        result = run_pipeline(zoo_config(), run_dir=str(tmp_path / "run"))
+        serve = json.loads(Path(result.artifacts["serve"]).read_text())
+        assert serve["mode"] == "single"
+
     def test_generate_stage_is_deterministic(self, tmp_path):
         config = derived_config()
         first = Pipeline(config, run_dir=str(tmp_path / "a")).generate()

@@ -147,7 +147,12 @@ def inputs(queue_depth=0, batch_size=4, oldest_wait=0.0, p95=None,
 class TestPolicies:
     def test_static_default_is_highest(self, sp_net):
         engine = make_engine(sp_net)  # StaticPolicy()
-        assert engine.controller.bits == 16
+        engine.submit(request(0, 0.0))
+        record = engine.dispatch(0.0, flush=True)
+        assert record.bits == 16
+        # The default stays unresolved on the instance: it is the
+        # dispatching engine's highest, not a value baked in at attach.
+        assert engine.controller.bits is None
 
     def test_static_rejects_non_candidate(self, sp_net):
         with pytest.raises(ValueError):
@@ -204,3 +209,90 @@ class TestPolicies:
             QueueDepthPolicy(low=-1)
         with pytest.raises(ValueError):
             QueueDepthPolicy(low=5, high=5)
+
+    def test_slo_clamp_with_foreign_current_bits_falls_to_fastest(self):
+        """Regression: when current_bits is not in the candidate ladder
+        (policy reused across checkpoints with different bit sets) the
+        over-SLO clamp must fall to the fastest rung, not silently
+        no-op and keep serving above the SLO."""
+        policy = LatencySLOPolicy(slo_s=0.100, safety=1.0)
+        # current=12 is not one of BITS=(4, 8, 16); p95 violates the SLO.
+        assert policy.choose_bits(inputs(p95=0.200, current=12)) == 4
+        # Without the violation the foreign current_bits is irrelevant.
+        assert policy.choose_bits(inputs(current=12)) == 16
+
+
+class TestPolicyReattachSemantics:
+    """One policy instance serves many engines without stale config —
+    the property fleet replicas rely on when sharing a controller."""
+
+    def small_net(self, bits):
+        cfg = SPNetConfig(
+            model="resnet8", bit_widths=bits, num_classes=3,
+            width_mult=0.25, image_size=8,
+        )
+        return build_sp_net(cfg)
+
+    def test_static_default_tracks_each_engine(self, sp_net):
+        policy = StaticPolicy()
+        big = make_engine(sp_net, policy=policy)          # bits (4, 8, 16)
+        small_net = self.small_net((2, 4))
+        small = InferenceEngine(
+            small_net, policy,
+            BitLatencyModel({2: 0.0005, 4: 0.001}, batch_overhead_s=0.001),
+            max_batch=4, batch_timeout_s=0.010, clock=lambda: 0.0,
+        )
+        big.submit(request(0, 0.0))
+        assert big.dispatch(0.0, flush=True).bits == 16
+        small.submit(request(0, 0.0))
+        assert small.dispatch(0.0, flush=True).bits == 4
+        # And the first engine still serves ITS highest afterwards.
+        big.submit(request(1, 0.0))
+        assert big.dispatch(0.0, flush=True).bits == 16
+
+    def test_static_reattach_revalidates_against_new_engine(self, sp_net):
+        policy = StaticPolicy(bits=16)
+        make_engine(sp_net, policy=policy)  # 16 is a candidate here
+        small_net = self.small_net((2, 4))
+        with pytest.raises(ValueError, match="candidate set"):
+            InferenceEngine(
+                small_net, policy,
+                BitLatencyModel({2: 0.0005, 4: 0.001}),
+                max_batch=4, clock=lambda: 0.0,
+            )
+
+    def test_queue_high_default_tracks_each_engine_max_batch(self):
+        policy = QueueDepthPolicy()
+        assert policy.high is None
+        assert policy.saturation_depth(4) == 16
+        assert policy.saturation_depth(8) == 32
+        # Attach never bakes a resolved value into the instance.
+        small_net = self.small_net((4, 8))
+        InferenceEngine(
+            small_net, policy,
+            BitLatencyModel({4: 0.001, 8: 0.002}),
+            max_batch=8, clock=lambda: 0.0,
+        )
+        assert policy.high is None
+        # Depth 16 saturates a max_batch=4 engine (lowest precision)...
+        assert policy.choose_bits(inputs(queue_depth=16)) == 4
+        # ...but is only mid-ladder for a max_batch=8 engine.
+        wide = PolicyInputs(
+            now=1.0, batch_size=8, queue_depth=16, oldest_wait_s=0.0,
+            recent_p95_s=None, current_bits=16, bit_widths=BITS,
+            max_batch=8, latency_model=latency_model(),
+        )
+        assert policy.choose_bits(wide) == 8
+
+    def test_shared_policy_decisions_are_input_pure(self, sp_net):
+        """choose_bits depends only on the inputs snapshot: attaching to
+        another engine in between must not change a decision."""
+        policy = LatencySLOPolicy(slo_s=0.100, safety=1.0)
+        make_engine(sp_net, policy=policy)
+        before = policy.choose_bits(inputs(queue_depth=40))
+        other = self.small_net((2, 4))
+        InferenceEngine(
+            other, policy, BitLatencyModel({2: 0.0005, 4: 0.001}),
+            max_batch=4, clock=lambda: 0.0,
+        )
+        assert policy.choose_bits(inputs(queue_depth=40)) == before
