@@ -1,0 +1,103 @@
+"""Workload-lab walkthrough: record a trace, transform it, replay it.
+
+Demonstrates the four workload-lab moves:
+
+1. **Record** — capture the arrival schedule of a deterministic
+   serving simulation as a :class:`repro.workload.Trace` (a few KB of
+   JSONL: payloads are stored as regeneration recipes, not pixels);
+2. **Round-trip** — save/load the trace and replay it bit-identically:
+   the replayed fleet report equals the original byte for byte;
+3. **Transform** — compose registry-backed transforms (here: compress
+   time 2x to double the offered load, then mix the original and the
+   compressed trace as two tenants of one fleet);
+4. **Inject** — replay the mixed trace with a replica outage injected
+   mid-run and watch the fleet absorb it.
+
+The same flows are reachable without code via::
+
+    python -m repro serve-sim --scenario bursty --record-trace t.jsonl
+    python -m repro loadtest --config examples/loadtest_smoke.json
+
+Run:
+    python examples/trace_replay.py
+"""
+
+import json
+
+from repro import rng
+from repro.api.config import FaultConfig
+from repro.serve import (
+    build_fleet_report,
+    make_fleet,
+    prepare_simulation,
+    simulate_fleet,
+)
+from repro.serve.simulator import ServeScale
+from repro.workload import (
+    Trace,
+    record_trace,
+    resolve_fault_plan,
+    tenant_mix,
+    time_scale,
+)
+
+SCALE = ServeScale(
+    name="trace-demo", num_requests=96, image_size=10, num_classes=4,
+    width_mult=0.25, bit_widths=(4, 8, 16), max_batch=8,
+    mapper_generations=2,
+)
+
+
+def fleet_report(fixture, requests, faults=None, scenario="bursty"):
+    fleet = make_fleet(fixture, "slo", replicas=2, router="least_queue")
+    end_s = simulate_fleet(fleet, requests, faults)
+    return build_fleet_report(
+        scenario, "slo", fixture.scale, fleet, end_s, fixture.slo_s
+    )
+
+
+def main():
+    # 1. Record: one bursty simulation's complete arrival schedule.
+    rng.set_seed(0)
+    fixture = prepare_simulation("bursty", SCALE)
+    trace = record_trace(fixture, "bursty", seed=0)
+    path = trace.save("bursty_trace.jsonl")
+    print(f"recorded {len(trace)} requests "
+          f"({trace.duration_s * 1e3:.1f} ms span) -> {path}")
+
+    # 2. Round-trip + bit-identical replay.
+    reloaded = Trace.load(path)
+    original = fleet_report(fixture, fixture.requests)
+    replayed = fleet_report(fixture, reloaded.materialize())
+    identical = json.dumps(original.to_json_dict(), sort_keys=True) == \
+        json.dumps(replayed.to_json_dict(), sort_keys=True)
+    print(f"replayed report identical to original: {identical}")
+    print(f"  p95 {original.latency_p95_s * 1e3:.3f} ms, "
+          f"energy/request "
+          f"{original.energy_per_request_pj / 1e6:.3f} uJ")
+
+    # 3. Transform: 2x time compression (double rate), then mix the
+    #    original and compressed schedules as two tenants.
+    heavier = time_scale(reloaded, 0.5)
+    mixed = tenant_mix(reloaded, heavier)
+    print(f"mixed trace: {len(mixed)} requests from "
+          f"{len(mixed.sources)} tenants "
+          f"(lineage: {[s['transform'] for s in mixed.meta['lineage']]})")
+    mixed_report = fleet_report(fixture, mixed.materialize())
+    print(f"  mixed-tenant p95 {mixed_report.latency_p95_s * 1e3:.3f} ms "
+          f"(vs {original.latency_p95_s * 1e3:.3f} ms single-tenant)")
+
+    # 4. Inject: take one of the two replicas down for the middle 30%.
+    faults = resolve_fault_plan(
+        (FaultConfig(kind="replica_outage", at=0.35, duration=0.3),),
+        span_s=mixed.duration_s,
+    )
+    faulted = fleet_report(fixture, mixed.materialize(), faults=faults)
+    print(f"  with mid-run outage: p95 {faulted.latency_p95_s * 1e3:.3f} ms,"
+          f" {faulted.num_requests} requests served, fault log:")
+    for event in faulted.fault_events:
+        print(f"    t={event['time_s'] * 1e3:8.3f} ms {event['kind']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,6 +40,24 @@ echo "==> fleet serve-sim smoke (4 replicas behind the least_queue router)"
 python -m repro serve-sim --scenario bursty --policy slo --scale smoke \
     --replicas 4 --router least_queue --seed 0
 
+echo "==> loadtest smoke (tiny grid; report must be bit-identical across runs)"
+LOADTEST_DIR_A="$(mktemp -d)"
+LOADTEST_DIR_B="$(mktemp -d)"
+trap 'rm -rf "$PIPELINE_RUN_DIR" "$LOADTEST_DIR_A" "$LOADTEST_DIR_B"' EXIT
+python -m repro loadtest --config examples/loadtest_smoke.json \
+    --output-dir "$LOADTEST_DIR_A" --quiet
+python -m repro loadtest --config examples/loadtest_smoke.json \
+    --output-dir "$LOADTEST_DIR_B" --quiet
+for artifact in loadtest_report.json loadtest_report.md \
+        trace_bursty.jsonl trace_flash_crowd.jsonl; do
+    test -f "$LOADTEST_DIR_A/$artifact" \
+        || { echo "missing loadtest artifact: $artifact"; exit 1; }
+done
+diff -r "$LOADTEST_DIR_A" "$LOADTEST_DIR_B" \
+    || { echo "loadtest run is not deterministic"; exit 1; }
+grep -q '"energy_per_request_pj"' "$LOADTEST_DIR_A/loadtest_report.json" \
+    || { echo "loadtest report lacks the energy-per-request column"; exit 1; }
+
 echo "==> perf bench smoke (gated on benchmarks/perf/baseline.json)"
 python -m repro bench --scale smoke
 

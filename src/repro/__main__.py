@@ -7,6 +7,7 @@ Usage::
     python -m repro run all --scale default
     python -m repro bench --scale smoke
     python -m repro serve-sim --scenario bursty --policy all --scale smoke
+    python -m repro loadtest --config examples/loadtest_smoke.json
     python -m repro pipeline validate --config examples/pipeline_smoke.json
     python -m repro pipeline run --config examples/pipeline_smoke.json
 
@@ -84,6 +85,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", default=None, metavar="PATH",
         help="also write the reports as JSON",
     )
+    serve.add_argument(
+        "--record-trace", default=None, metavar="PATH",
+        help="save the simulated arrival schedule as a replayable "
+             "JSONL trace (see repro.workload.trace)",
+    )
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="sweep policy x router x replicas x scenario and report "
+             "the latency/accuracy/energy Pareto frontier",
+        description=(
+            "run the workload-lab grid harness: every cell of the "
+            "configured scenarios x policies x routers x replicas grid "
+            "is fleet-simulated deterministically (optionally with the "
+            "config's fault plan injected) and summarised in "
+            "loadtest_report.json / .md with p50/p95/p99, throughput, "
+            "accuracy proxy, AutoMapper-priced energy per request, and "
+            "the Pareto frontier across the three objectives"
+        ),
+    )
+    loadtest.add_argument(
+        "--config", required=True, metavar="PATH",
+        help="loadtest config JSON (see examples/loadtest_smoke.json)",
+    )
+    loadtest.add_argument(
+        "--output-dir", default=None, metavar="DIR",
+        help="artifact directory (default: runs/<config name>)",
+    )
+    loadtest.add_argument(
+        "--quiet", action="store_true",
+        help="only write artifacts, do not print the summary table",
+    )
 
     pipeline = sub.add_parser(
         "pipeline",
@@ -154,6 +187,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
     import json
 
+    fixture = None
+    if args.record_trace:
+        # Prepare once, up front: the same fixture both drives the
+        # simulation below and is recorded, so --record-trace does not
+        # pay for a second model build + cost-model search.
+        from . import rng as rng_mod
+        from .serve.simulator import prepare_simulation
+
+        rng_mod.set_seed(args.seed)
+        fixture = prepare_simulation(args.scenario, args.scale)
+
     fleet_mode = args.replicas is not None or args.autoscale_max is not None
     if fleet_mode:
         from .api.config import AutoscaleConfig, ConfigError
@@ -184,6 +228,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             scenario=args.scenario, policy=args.policy,
             scale=args.scale, seed=args.seed,
             replicas=replicas, router=args.router, autoscale=autoscale,
+            fixture=fixture,
         )
         print(format_fleet_reports(reports))
     else:
@@ -191,7 +236,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
 
         reports = run_serve_sim(
             scenario=args.scenario, policy=args.policy,
-            scale=args.scale, seed=args.seed,
+            scale=args.scale, seed=args.seed, fixture=fixture,
         )
         print(format_reports(reports))
     if args.output:
@@ -202,6 +247,37 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             )
             handle.write("\n")
         print(f"\nwrote {args.output}")
+    if args.record_trace:
+        from .workload.trace import record_trace
+
+        trace = record_trace(fixture, args.scenario, args.seed)
+        trace.save(args.record_trace)
+        print(f"recorded {len(trace)}-request trace -> {args.record_trace}")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from .api.config import ConfigError, LoadTestConfig
+
+    try:
+        config = LoadTestConfig.load(args.config)
+    except ConfigError as exc:
+        print(f"invalid loadtest config {args.config}: {exc}",
+              file=sys.stderr)
+        return 2
+    from .workload.loadtest import (
+        render_markdown,
+        run_loadtest,
+        write_loadtest_artifacts,
+    )
+
+    payload = run_loadtest(config)
+    out_dir = args.output_dir or f"runs/{config.name}"
+    paths = write_loadtest_artifacts(payload, out_dir)
+    if not args.quiet:
+        print(render_markdown(payload))
+    for kind, path in sorted(paths.items()):
+        print(f"  {kind:<16} {path}")
     return 0
 
 
@@ -288,6 +364,8 @@ def main(argv=None) -> int:
         return run_from_args(args)
     if args.command == "serve-sim":
         return _cmd_serve_sim(args)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
     if args.command == "pipeline":
         return _cmd_pipeline(args)
     raise AssertionError(f"unhandled command {args.command!r}")

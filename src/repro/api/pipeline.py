@@ -340,6 +340,7 @@ class Pipeline:
                 "energy_pj": result.energy_pj,
                 "latency_s": result.latency_s,
                 "per_image_latency_s": result.latency_s / cfg.deploy.batch,
+                "per_image_energy_pj": result.energy_pj / cfg.deploy.batch,
                 "evaluations": result.evaluations,
                 "pipeline": result.pipeline,
             })
@@ -400,7 +401,16 @@ class Pipeline:
                     f"{list(sp_net.bit_widths)} — re-run the deploy stage "
                     f"(repro pipeline run --stages deploy)"
                 )
-            latency_model = BitLatencyModel(per_image)
+            # Older deploy artifacts predate per-image energy; serving
+            # then simply reports no energy column.
+            per_energy = {
+                _bits_from_json(m["bits"]): float(m["per_image_energy_pj"])
+                for m in deploy_report["mappings"]
+                if m.get("per_image_energy_pj") is not None
+            }
+            latency_model = BitLatencyModel(
+                per_image, per_image_energy_pj=per_energy
+            )
         serve_scale = ServeScale(
             name=f"pipeline-{cfg.name}",
             num_requests=cfg.serve.num_requests,

@@ -38,6 +38,7 @@ __all__ = [
     "POLICIES",
     "ROUTERS",
     "SCENARIOS",
+    "TRACE_TRANSFORMS",
     "SEARCH_SPACES",
     "DEVICES",
     "STRATEGIES",
@@ -258,6 +259,24 @@ SCENARIOS = Registry("scenario")
 SCENARIOS.register_lazy("constant", "repro.serve.simulator:constant_gaps")
 SCENARIOS.register_lazy("bursty", "repro.serve.simulator:bursty_gaps")
 SCENARIOS.register_lazy("diurnal", "repro.serve.simulator:diurnal_gaps")
+# Workload-lab scenario library (repro.workload.scenarios).
+SCENARIOS.register_lazy(
+    "flash_crowd", "repro.workload.scenarios:flash_crowd_gaps"
+)
+SCENARIOS.register_lazy("ramp", "repro.workload.scenarios:ramp_gaps")
+SCENARIOS.register_lazy("sawtooth", "repro.workload.scenarios:sawtooth_gaps")
+SCENARIOS.register_lazy("on_off", "repro.workload.scenarios:on_off_gaps")
+SCENARIOS.register_lazy(
+    "pareto_heavy_tail", "repro.workload.scenarios:pareto_heavy_tail_gaps"
+)
+
+TRACE_TRANSFORMS = Registry("trace transform")
+TRACE_TRANSFORMS.register_lazy("time_scale", "repro.workload.trace:time_scale")
+TRACE_TRANSFORMS.register_lazy("splice", "repro.workload.trace:splice")
+TRACE_TRANSFORMS.register_lazy("tenant_mix", "repro.workload.trace:tenant_mix")
+TRACE_TRANSFORMS.register_lazy(
+    "amplitude_modulate", "repro.workload.trace:amplitude_modulate"
+)
 
 SEARCH_SPACES = Registry("search space")
 SEARCH_SPACES.register_lazy("cifar", "repro.core.spnas.space:cifar_search_space")
@@ -297,6 +316,7 @@ REGISTRIES: Dict[str, Registry] = {
     "policies": POLICIES,
     "routers": ROUTERS,
     "scenarios": SCENARIOS,
+    "trace_transforms": TRACE_TRANSFORMS,
     "search_spaces": SEARCH_SPACES,
     "devices": DEVICES,
     "strategies": STRATEGIES,

@@ -333,6 +333,40 @@ def _bench_serve(scale: BenchScale) -> Dict[str, Dict[str, float]]:
     return ops
 
 
+def _bench_loadtest(scale: BenchScale) -> Dict[str, Dict[str, float]]:
+    """Workload-lab grid harness end to end at bench scale.
+
+    ``loadtest_grid_smoke`` times a 4-cell
+    policy x replicas grid (one scenario) including fixture
+    preparation, per-cell fleet spin-up, fault-plan resolution, the
+    fleet simulations themselves, and Pareto extraction — i.e. what one
+    scenario-slice of ``repro loadtest`` costs, tracking the harness
+    overhead on top of the raw fleet simulation ops above.
+    """
+    from ..api.config import FaultConfig, LoadTestConfig
+    from ..workload.loadtest import run_loadtest
+
+    config = LoadTestConfig(
+        name="bench", seed=0, scale="smoke",
+        scenarios=("bursty",), policies=("slo", "static"),
+        routers=("least_queue",), replicas=(1, 2),
+        num_requests=scale.serve_requests,
+        faults=(
+            FaultConfig(kind="latency_spike", at=0.4, duration=0.2,
+                        factor=3.0),
+        ),
+    )
+
+    def run():
+        run_loadtest(config)
+
+    return {
+        "loadtest_grid_smoke": {
+            "median_s": _median_seconds(run, 2)
+        }
+    }
+
+
 def _bench_pipeline(scale: BenchScale) -> Dict[str, Dict[str, float]]:
     """`repro pipeline run` end to end at bench scale.
 
@@ -401,6 +435,7 @@ def run_suite(scale: str = "smoke") -> Dict:
     ops.update(_bench_conv_kernels(cfg))
     ops.update(_bench_automapper(cfg))
     ops.update(_bench_serve(cfg))
+    ops.update(_bench_loadtest(cfg))
     ops.update(_bench_cdt_step(cfg))
     ops.update(_bench_pipeline(cfg))
     gc.collect()

@@ -13,7 +13,10 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["set_seed", "get_rng", "spawn_rng"]
+__all__ = [
+    "set_seed", "get_seed", "get_rng", "spawn_rng",
+    "get_state", "set_state",
+]
 
 _GLOBAL_SEED = 0
 _GLOBAL_RNG = np.random.default_rng(_GLOBAL_SEED)
@@ -26,9 +29,36 @@ def set_seed(seed: int) -> None:
     _GLOBAL_RNG = np.random.default_rng(_GLOBAL_SEED)
 
 
+def get_seed() -> int:
+    """The seed the global RNG was last seeded with.
+
+    Lets callers that must temporarily re-seed (e.g. trace
+    materialisation regenerating a dataset under its recorded seed)
+    restore the surrounding state exactly.
+    """
+    return _GLOBAL_SEED
+
+
 def get_rng() -> np.random.Generator:
     """Return the shared global generator."""
     return _GLOBAL_RNG
+
+
+def get_state():
+    """Opaque snapshot of the global RNG: seed AND stream position.
+
+    ``set_seed(get_seed())`` would rewind the global stream to its
+    initial state; ``set_state(get_state())`` restores it exactly where
+    it was — use this pair to bracket code that must temporarily
+    re-seed (e.g. trace materialisation).
+    """
+    return (_GLOBAL_SEED, _GLOBAL_RNG)
+
+
+def set_state(state) -> None:
+    """Restore a snapshot taken by :func:`get_state`."""
+    global _GLOBAL_SEED, _GLOBAL_RNG
+    _GLOBAL_SEED, _GLOBAL_RNG = state
 
 
 def spawn_rng(key: str) -> np.random.Generator:

@@ -52,6 +52,7 @@ from .cluster import (
     simulate_fleet,
 )
 from .registry import ModelRegistry
+from .stats import LatencySummary, optional_percentile_s, percentile_s
 from .routing import (
     ROUTER_NAMES,
     LatencyAwareRouter,
@@ -98,6 +99,9 @@ __all__ = [
     "StaticPolicy",
     "make_policy",
     "ModelRegistry",
+    "LatencySummary",
+    "optional_percentile_s",
+    "percentile_s",
     "Autoscaler",
     "FleetReport",
     "ReplicaFleet",

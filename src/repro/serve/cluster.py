@@ -52,6 +52,7 @@ from ..api.config import AutoscaleConfig
 from ..api.registry import POLICIES
 from .engine import BatchRecord, BitLatencyModel, InferenceEngine, InferenceRequest
 from .routing import ReplicaSnapshot, Router, RouterInputs, make_router
+from .stats import LatencySummary, optional_percentile_s
 
 __all__ = [
     "ScaleEvent",
@@ -65,10 +66,14 @@ __all__ = [
     "format_fleet_reports",
 ]
 
-# Replica lifecycle states.
+# Replica lifecycle states.  FAILED is reachable only through fault
+# injection (repro.workload.faults): the replica is unroutable and
+# undispatchable until an explicit recovery, and — unlike DRAINING /
+# STOPPED — is never re-activated by an autoscaler scale-up.
 ACTIVE = "active"
 DRAINING = "draining"
 STOPPED = "stopped"
+FAILED = "failed"
 
 
 @dataclass(frozen=True)
@@ -205,6 +210,7 @@ class ReplicaFleet:
         if autoscaler is not None:
             autoscaler.attach(self)
         self.scale_events: List[ScaleEvent] = []
+        self.fault_log: List[Dict] = []
         self._recent: Deque[float] = deque(maxlen=stats_window)
 
     # ------------------------------------------------------------------
@@ -253,7 +259,7 @@ class ReplicaFleet:
         return sum(
             r.engine.queue_depth
             for r in self._replicas
-            if r.state != STOPPED
+            if r.state not in (STOPPED, FAILED)
         )
 
     def routable_queue_depth(self) -> int:
@@ -273,9 +279,7 @@ class ReplicaFleet:
 
     def recent_p95_s(self) -> Optional[float]:
         """Sliding-window p95 over fleet-wide completed latencies."""
-        if not self._recent:
-            return None
-        return float(np.percentile(np.asarray(self._recent), 95))
+        return optional_percentile_s(self._recent, 95)
 
     # ------------------------------------------------------------------
     # Request path
@@ -313,6 +317,76 @@ class ReplicaFleet:
         return idx
 
     # ------------------------------------------------------------------
+    # Fault injection (driven by repro.workload.faults)
+    # ------------------------------------------------------------------
+    def fail_replica(self, index: int, now: float) -> bool:
+        """Take replica ``index`` down; returns False if skipped.
+
+        The replica's queued (not yet dispatched) requests are
+        re-routed through the router onto the surviving active
+        replicas, so an outage sheds load instead of stranding it.
+        Results already produced by in-flight batches are kept — a
+        batch that finished before the failure happened happened.  The
+        last active replica can never be failed (the cluster analogue
+        of a pod-disruption budget); such an event is skipped and the
+        skip is recorded in :attr:`fault_log`.
+        """
+        replica = self._replicas[index]
+        if replica.state == FAILED:
+            return False
+        if replica.state == ACTIVE and self.num_active <= 1:
+            self.fault_log.append({
+                "time_s": now, "kind": "replica_outage", "replica": index,
+                "applied": False, "reason": "last active replica",
+            })
+            return False
+        stranded = replica.engine.take_queue()
+        replica.state = FAILED
+        for request in stranded:
+            self.submit(request)
+        self.fault_log.append({
+            "time_s": now, "kind": "replica_outage", "replica": index,
+            "applied": True, "rerouted": len(stranded),
+        })
+        return True
+
+    def recover_replica(self, index: int, now: float) -> bool:
+        """Bring a FAILED replica back into the active set.
+
+        ``service_scale`` is deliberately left untouched: the spike
+        layer owns it, and spike/spike-end events are applied to every
+        materialized replica (failed ones included), so a replica that
+        recovers inside a spike window comes back correctly degraded.
+        """
+        replica = self._replicas[index]
+        if replica.state != FAILED:
+            return False
+        replica.state = ACTIVE
+        self.fault_log.append({
+            "time_s": now, "kind": "replica_recovery", "replica": index,
+            "applied": True,
+        })
+        return True
+
+    def set_service_scale(
+        self, factor: float, now: float, index: Optional[int] = None
+    ) -> None:
+        """Apply a transient service-time multiplier (latency spike).
+
+        ``index=None`` hits every materialized replica; ``factor=1.0``
+        ends the spike.
+        """
+        targets = (
+            self._replicas if index is None else [self._replicas[index]]
+        )
+        for replica in targets:
+            replica.engine.service_scale = factor
+        self.fault_log.append({
+            "time_s": now, "kind": "latency_spike", "factor": factor,
+            "replica": index, "applied": True,
+        })
+
+    # ------------------------------------------------------------------
     # Dispatch + scaling
     # ------------------------------------------------------------------
     def step(self, now: float, flush: bool = False) -> List[BatchRecord]:
@@ -324,7 +398,7 @@ class ReplicaFleet:
         """
         records: List[BatchRecord] = []
         for replica in self._replicas:
-            if replica.state == STOPPED:
+            if replica.state in (STOPPED, FAILED):
                 continue
             if replica.free_at_s > now:
                 continue
@@ -389,7 +463,7 @@ class ReplicaFleet:
         """Earliest time any replica could release a batch (None: idle)."""
         times: List[float] = []
         for replica in self._replicas:
-            if replica.state == STOPPED:
+            if replica.state in (STOPPED, FAILED):
                 continue
             engine = replica.engine
             if engine.queue_depth == 0:
@@ -416,7 +490,9 @@ class ReplicaFleet:
 # Simulation loop
 # ----------------------------------------------------------------------
 def simulate_fleet(
-    fleet: ReplicaFleet, requests: Sequence[InferenceRequest]
+    fleet: ReplicaFleet,
+    requests: Sequence[InferenceRequest],
+    faults=None,
 ) -> float:
     """Drive the fleet through the request stream on a virtual clock.
 
@@ -425,6 +501,13 @@ def simulate_fleet(
     advances to whichever comes first — the next arrival or the earliest
     batch a replica could release.  Returns the virtual completion time
     of the last batch.
+
+    ``faults`` is an optional
+    :class:`~repro.workload.faults.FaultSchedule`: its due events
+    (replica outages/recoveries, latency-spike windows) are applied as
+    the clock reaches them, and upcoming fault times participate in the
+    event-time advance so an injection lands at exactly its scheduled
+    virtual instant.
     """
     ordered = sorted(requests, key=lambda r: r.arrival_s)
     n = len(ordered)
@@ -440,6 +523,8 @@ def simulate_fleet(
     while i < n or fleet.pending():
         if not fleet.pending():
             now = max(now, ordered[i].arrival_s)
+        if faults is not None:
+            faults.apply_due(now, fleet)
         admit(now)
         if fleet.step(now, flush=(i >= n)):
             continue
@@ -450,9 +535,17 @@ def simulate_fleet(
             times.append(t)
         if i < n:
             times.append(ordered[i].arrival_s)
+        if faults is not None:
+            t = faults.next_time_s()
+            if t is not None:
+                times.append(t)
         if not times:
             break
         now = max(now, min(times))
+    if faults is not None:
+        # Apply any events scheduled inside the final drain window so
+        # the log (and engine service scales) end in a clean state.
+        faults.apply_due(fleet.finish_time_s(), fleet)
     return fleet.finish_time_s()
 
 
@@ -534,8 +627,11 @@ class FleetReport:
     mean_batch_size: float = 0.0
     switches: int = 0
     accuracy: Optional[float] = None
+    energy_pj: float = 0.0
+    energy_per_request_pj: Optional[float] = None
     per_replica: List[Dict] = field(default_factory=list)
     scale_events: List[Dict] = field(default_factory=list)
+    fault_events: List[Dict] = field(default_factory=list)
 
     def to_json_dict(self) -> Dict:
         return asdict(self)
@@ -561,10 +657,13 @@ def build_fleet_report(
     latencies = np.asarray(
         [lat for e in engines for lat in e.stats.latencies_s]
     )
+    summary = LatencySummary.from_values(latencies)
     completed = int(sum(e.stats.completed for e in engines))
     batches = int(sum(e.stats.batches for e in engines))
     labelled = int(sum(e.stats.labelled for e in engines))
     correct = int(sum(e.stats.correct for e in engines))
+    energy_pj = float(sum(e.stats.energy_pj for e in engines))
+    energy_priced = int(sum(e.stats.energy_priced for e in engines))
     duration = max(end_s, 1e-12)
     occupancy = {
         _bits_key(b): int(sum(e.stats.requests_per_bit[b] for e in engines))
@@ -588,11 +687,6 @@ def build_fleet_report(
             },
         })
 
-    def percentile(q: float) -> float:
-        if not latencies.size:
-            return float("nan")
-        return float(np.percentile(latencies, q))
-
     return FleetReport(
         scenario=scenario,
         policy=policy,
@@ -604,11 +698,11 @@ def build_fleet_report(
         num_requests=completed,
         duration_s=float(end_s),
         throughput_rps=completed / duration,
-        latency_p50_s=percentile(50),
-        latency_p95_s=percentile(95),
-        latency_p99_s=percentile(99),
-        latency_mean_s=float(latencies.mean()) if latencies.size else float("nan"),
-        latency_max_s=float(latencies.max()) if latencies.size else float("nan"),
+        latency_p50_s=summary.p50_s,
+        latency_p95_s=summary.p95_s,
+        latency_p99_s=summary.p99_s,
+        latency_mean_s=summary.mean_s,
+        latency_max_s=summary.max_s,
         slo_s=slo_s,
         slo_violations=int((latencies > slo_s).sum()) if latencies.size else 0,
         occupancy=occupancy,
@@ -616,8 +710,13 @@ def build_fleet_report(
         mean_batch_size=(completed / batches) if batches else 0.0,
         switches=int(sum(e.stats.switches for e in engines)),
         accuracy=(correct / labelled) if labelled else None,
+        energy_pj=energy_pj,
+        energy_per_request_pj=(
+            energy_pj / energy_priced if energy_priced else None
+        ),
         per_replica=per_replica,
         scale_events=[e.to_json_dict() for e in fleet.scale_events],
+        fault_events=list(fleet.fault_log),
     )
 
 
@@ -629,7 +728,7 @@ def format_fleet_reports(reports: Sequence[FleetReport]) -> str:
     header = (
         f"{'policy':<8} {'reqs':>5} {'thru(r/s)':>10} {'p50(ms)':>8} "
         f"{'p95(ms)':>8} {'p99(ms)':>8} {'slo-viol':>8} {'batches':>7} "
-        f"{'avg-b':>5} {'switch':>6} {'acc':>6}"
+        f"{'avg-b':>5} {'switch':>6} {'acc':>6} {'uJ/req':>8}"
     )
     lines = [
         f"serve-sim fleet scenario={first.scenario} scale={first.scale} "
@@ -641,12 +740,16 @@ def format_fleet_reports(reports: Sequence[FleetReport]) -> str:
     ]
     for r in reports:
         acc = f"{r.accuracy:.3f}" if r.accuracy is not None else "n/a"
+        energy = (
+            f"{r.energy_per_request_pj / 1e6:.3f}"
+            if r.energy_per_request_pj is not None else "n/a"
+        )
         lines.append(
             f"{r.policy:<8} {r.num_requests:>5} {r.throughput_rps:>10.1f} "
             f"{r.latency_p50_s * 1e3:>8.3f} {r.latency_p95_s * 1e3:>8.3f} "
             f"{r.latency_p99_s * 1e3:>8.3f} {r.slo_violations:>8} "
             f"{r.batches:>7} {r.mean_batch_size:>5.1f} {r.switches:>6} "
-            f"{acc:>6}"
+            f"{acc:>6} {energy:>8}"
         )
     lines.append("")
     lines.append("per-replica occupancy (requests served at each bit-width):")
@@ -667,6 +770,19 @@ def format_fleet_reports(reports: Sequence[FleetReport]) -> str:
                 f"{event['action']:<10} {event['from_replicas']}->"
                 f"{event['to_replicas']}  ({event['reason']})"
             )
+    fault_events = [(r.policy, e) for r in reports for e in r.fault_events]
+    if fault_events:
+        lines.append("")
+        lines.append("injected faults:")
+        for policy, event in fault_events:
+            detail = ", ".join(
+                f"{k}={v}" for k, v in event.items()
+                if k not in ("time_s", "kind")
+            )
+            lines.append(
+                f"  {policy:<8} t={event['time_s'] * 1e3:9.3f}ms "
+                f"{event['kind']:<16} {detail}"
+            )
     return "\n".join(lines)
 
 
@@ -686,6 +802,7 @@ def run_fleet_sim(
     latency_model=None,
     registry=None,
     model_name: Optional[str] = None,
+    fixture=None,
 ) -> List[FleetReport]:
     """Build the model + traffic once, then fleet-simulate each policy.
 
@@ -693,15 +810,17 @@ def run_fleet_sim(
     :func:`~repro.serve.simulator.run_serve_sim`: same fixture setup
     (same arrivals, same images, same latency oracle), so fleet and
     single-engine reports are directly comparable; ``policy="all"``
-    expands from the live policy registry.
+    expands from the live policy registry.  A prepared ``fixture``
+    skips setup (same contract as ``run_serve_sim``).
     """
     from .simulator import prepare_simulation
 
     rng_mod.set_seed(seed)
-    fixture = prepare_simulation(
-        scenario, scale, sp_net=sp_net, config=config,
-        latency_model=latency_model,
-    )
+    if fixture is None:
+        fixture = prepare_simulation(
+            scenario, scale, sp_net=sp_net, config=config,
+            latency_model=latency_model,
+        )
     policies = list(POLICIES.names()) if policy == "all" else [policy]
     reports = []
     for name in policies:

@@ -31,6 +31,7 @@ import numpy as np
 from ..quant import SwitchablePrecisionNetwork
 from ..quant.layers import BitSpec, normalize_bits
 from ..tensor import Tensor, no_grad
+from .stats import optional_percentile_s, percentile_s
 
 __all__ = [
     "InferenceRequest",
@@ -79,12 +80,19 @@ class InferenceResult:
 
 @dataclass(frozen=True)
 class BatchRecord:
-    """One dispatched micro-batch."""
+    """One dispatched micro-batch.
+
+    ``energy_pj`` is the accelerator energy the cost model charges for
+    the batch at its served bit-width (``None`` when the engine's
+    latency model carries no energy estimates — e.g. hand-built models
+    in tests).
+    """
 
     bits: BitSpec
     start_s: float
     finish_s: float
     results: Tuple[InferenceResult, ...]
+    energy_pj: Optional[float] = None
 
     @property
     def size(self) -> int:
@@ -103,12 +111,21 @@ class BitLatencyModel:
     ``batch_overhead_s + n * per_image_s[bits]`` (the overhead is the
     per-dispatch fixed cost batching amortises: weight/bit-mode switch,
     DMA setup, host round-trip).
+
+    ``per_image_energy_pj[bits]`` — optional — is the accelerator
+    energy of the same mapping, so serving reports can price
+    energy-per-request at whatever bit-width each batch actually ran
+    at.  :meth:`from_cost_model` fills it from the AutoMapper result
+    alongside the latency; hand-built models may omit it, in which case
+    :meth:`batch_energy_pj` returns ``None`` and reports show no energy
+    column.
     """
 
     def __init__(
         self,
         per_image_s: Dict[BitSpec, float],
         batch_overhead_s: Optional[float] = None,
+        per_image_energy_pj: Optional[Dict[BitSpec, float]] = None,
     ):
         if not per_image_s:
             raise ValueError("per_image_s must be non-empty")
@@ -118,6 +135,7 @@ class BitLatencyModel:
             # enough that single-request dispatches are visibly wasteful.
             batch_overhead_s = max(self.per_image_s.values())
         self.batch_overhead_s = float(batch_overhead_s)
+        self.per_image_energy_pj = dict(per_image_energy_pj or {})
 
     @classmethod
     def from_cost_model(
@@ -151,18 +169,33 @@ class BitLatencyModel:
             ),
         )
         per_image: Dict[BitSpec, float] = {}
+        per_energy: Dict[BitSpec, float] = {}
         for bits in sp_net.bit_widths:
             w_bits, a_bits = normalize_bits(bits)
             effective = max(w_bits, a_bits)
             priced = [dc_replace(w, bits=effective) for w in workloads]
             result = mapper.search_network(priced, pipeline=False)
             per_image[bits] = result.network_cost.latency_s
-        return cls(per_image, batch_overhead_s=batch_overhead_s)
+            per_energy[bits] = result.network_cost.energy_pj
+        return cls(
+            per_image,
+            batch_overhead_s=batch_overhead_s,
+            per_image_energy_pj=per_energy,
+        )
 
     def batch_latency_s(self, bits: BitSpec, batch_size: int) -> float:
         if bits not in self.per_image_s:
             raise KeyError(f"no latency estimate for bit-width {bits}")
         return self.batch_overhead_s + batch_size * self.per_image_s[bits]
+
+    def batch_energy_pj(
+        self, bits: BitSpec, batch_size: int
+    ) -> Optional[float]:
+        """Cost-model energy of a batch at ``bits``; None if unpriced."""
+        per_image = self.per_image_energy_pj.get(bits)
+        if per_image is None:
+            return None
+        return batch_size * per_image
 
     def fastest_bits(self) -> BitSpec:
         return min(self.per_image_s, key=self.per_image_s.get)
@@ -216,6 +249,8 @@ class EngineStats:
         self.labelled = 0
         self.correct = 0
         self.switches = 0
+        self.energy_pj = 0.0
+        self.energy_priced = 0        # requests with a cost-model energy price
         self._last_bits: Optional[BitSpec] = None
 
     def record_batch(self, batch: BatchRecord) -> None:
@@ -225,6 +260,9 @@ class EngineStats:
         if self._last_bits is not None and batch.bits != self._last_bits:
             self.switches += 1
         self._last_bits = batch.bits
+        if batch.energy_pj is not None:
+            self.energy_pj += batch.energy_pj
+            self.energy_priced += batch.size
         for result in batch.results:
             self.completed += 1
             self.requests_per_bit[batch.bits] += 1
@@ -238,19 +276,21 @@ class EngineStats:
                 self.correct_per_bit[batch.bits] += hit
 
     def recent_p95_s(self) -> Optional[float]:
-        if not self.recent:
-            return None
-        return float(np.percentile(np.asarray(self.recent), 95))
+        return optional_percentile_s(self.recent, 95)
 
     def percentile_s(self, q: float) -> float:
-        if not self.latencies_s:
-            return float("nan")
-        return float(np.percentile(np.asarray(self.latencies_s), q))
+        return percentile_s(self.latencies_s, q)
 
     def accuracy(self) -> Optional[float]:
         if not self.labelled:
             return None
         return self.correct / self.labelled
+
+    def energy_per_request_pj(self) -> Optional[float]:
+        """Mean cost-model energy per served request; None if unpriced."""
+        if not self.energy_priced:
+            return None
+        return self.energy_pj / self.energy_priced
 
     def mean_batch_size(self) -> float:
         if not self.batches:
@@ -293,6 +333,10 @@ class InferenceEngine:
             )
         self.batch_timeout_s = float(batch_timeout_s)
         self.clock = clock or time.monotonic
+        # Transient service-time multiplier (>= 1.0 during an injected
+        # latency spike, 1.0 otherwise).  Owned by the fault-injection
+        # layer (repro.workload.faults); the engine only applies it.
+        self.service_scale = 1.0
         self.stats = EngineStats(sp_net.bit_widths, window=stats_window)
         self._queue: Deque[InferenceRequest] = deque()
         self._current_bits: BitSpec = sp_net.highest
@@ -312,6 +356,12 @@ class InferenceEngine:
     @property
     def current_bits(self) -> BitSpec:
         return self._current_bits
+
+    def take_queue(self) -> List[InferenceRequest]:
+        """Remove and return every queued request (outage re-routing)."""
+        taken = list(self._queue)
+        self._queue.clear()
+        return taken
 
     def next_release_s(self) -> Optional[float]:
         """When the oldest pending request's timeout expires (None: idle)."""
@@ -365,7 +415,10 @@ class InferenceEngine:
                 f"{self.sp_net.bit_widths}"
             )
         predictions = self._forward(batch, bits)
-        service_s = self.latency_model.batch_latency_s(bits, len(batch))
+        service_s = (
+            self.latency_model.batch_latency_s(bits, len(batch))
+            * self.service_scale
+        )
         finish = now + service_s
         results = tuple(
             InferenceResult(
@@ -380,7 +433,8 @@ class InferenceEngine:
             for req, pred in zip(batch, predictions)
         )
         record = BatchRecord(
-            bits=bits, start_s=now, finish_s=finish, results=results
+            bits=bits, start_s=now, finish_s=finish, results=results,
+            energy_pj=self.latency_model.batch_energy_pj(bits, len(batch)),
         )
         self._current_bits = bits
         self.stats.record_batch(record)

@@ -19,9 +19,14 @@ HIGHEST precision, so every scenario stresses any model the same way):
 * ``diurnal``  — sinusoidal rate sweeping from ~0.1x to ~1.1x capacity:
   a day/night load curve compressed into one simulation.
 
+The workload lab (:mod:`repro.workload.scenarios`) extends the gallery
+(flash crowds, ramps, sawtooths, on/off duty cycles, heavy tails);
+anything registered under ``SCENARIOS`` is served here by name.
+
 ``python -m repro serve-sim`` runs one scenario under one or all
 policies and prints p50/p95/p99 latency, throughput, the per-bit-width
-occupancy histogram and the accuracy proxy.
+occupancy histogram, the accuracy proxy, and — when the latency model
+carries cost-model energy estimates — energy per request.
 """
 
 from __future__ import annotations
@@ -271,6 +276,8 @@ class ServeReport:
     switches: int = 0
     accuracy: Optional[float] = None
     accuracy_per_bit: Dict[str, Optional[float]] = field(default_factory=dict)
+    energy_pj: float = 0.0
+    energy_per_request_pj: Optional[float] = None
 
     def to_json_dict(self) -> Dict:
         from dataclasses import asdict
@@ -292,8 +299,11 @@ def build_report(
     end_s: float,
     slo_s: float,
 ) -> ServeReport:
+    from .stats import LatencySummary
+
     stats = engine.stats
     latencies = np.asarray(stats.latencies_s)
+    summary = LatencySummary.from_values(latencies)
     duration = max(end_s, 1e-12)
     accuracy_per_bit = {
         _bits_key(b): (
@@ -310,11 +320,11 @@ def build_report(
         num_requests=stats.completed,
         duration_s=float(end_s),
         throughput_rps=stats.completed / duration,
-        latency_p50_s=stats.percentile_s(50),
-        latency_p95_s=stats.percentile_s(95),
-        latency_p99_s=stats.percentile_s(99),
-        latency_mean_s=float(latencies.mean()) if latencies.size else float("nan"),
-        latency_max_s=float(latencies.max()) if latencies.size else float("nan"),
+        latency_p50_s=summary.p50_s,
+        latency_p95_s=summary.p95_s,
+        latency_p99_s=summary.p99_s,
+        latency_mean_s=summary.mean_s,
+        latency_max_s=summary.max_s,
         slo_s=slo_s,
         slo_violations=int((latencies > slo_s).sum()) if latencies.size else 0,
         occupancy={
@@ -325,6 +335,8 @@ def build_report(
         switches=stats.switches,
         accuracy=stats.accuracy(),
         accuracy_per_bit=accuracy_per_bit,
+        energy_pj=stats.energy_pj,
+        energy_per_request_pj=stats.energy_per_request_pj(),
     )
 
 
@@ -335,7 +347,7 @@ def format_reports(reports: Sequence[ServeReport]) -> str:
     header = (
         f"{'policy':<8} {'reqs':>5} {'thru(r/s)':>10} {'p50(ms)':>8} "
         f"{'p95(ms)':>8} {'p99(ms)':>8} {'slo-viol':>8} {'batches':>7} "
-        f"{'avg-b':>5} {'switch':>6} {'acc':>6}"
+        f"{'avg-b':>5} {'switch':>6} {'acc':>6} {'uJ/req':>8}"
     )
     lines = [
         f"serve-sim scenario={reports[0].scenario} scale={reports[0].scale} "
@@ -345,12 +357,16 @@ def format_reports(reports: Sequence[ServeReport]) -> str:
     ]
     for r in reports:
         acc = f"{r.accuracy:.3f}" if r.accuracy is not None else "n/a"
+        energy = (
+            f"{r.energy_per_request_pj / 1e6:.3f}"
+            if r.energy_per_request_pj is not None else "n/a"
+        )
         lines.append(
             f"{r.policy:<8} {r.num_requests:>5} {r.throughput_rps:>10.1f} "
             f"{r.latency_p50_s * 1e3:>8.3f} {r.latency_p95_s * 1e3:>8.3f} "
             f"{r.latency_p99_s * 1e3:>8.3f} {r.slo_violations:>8} "
             f"{r.batches:>7} {r.mean_batch_size:>5.1f} {r.switches:>6} "
-            f"{acc:>6}"
+            f"{acc:>6} {energy:>8}"
         )
     lines.append("")
     lines.append("per-bit occupancy (requests served at each bit-width):")
@@ -464,16 +480,23 @@ def run_serve_sim(
     seed: int = 0,
     sp_net=None,
     config: Optional[SPNetConfig] = None,
+    fixture: Optional[SimFixture] = None,
 ) -> List[ServeReport]:
     """Build model + latency table once, then simulate each policy.
 
     Every policy sees the identical request stream (same arrivals, same
     images), so the reports are directly comparable.  Pass ``sp_net`` +
     ``config`` to serve an existing (e.g. checkpoint-loaded) model
-    instead of a freshly initialised one.
+    instead of a freshly initialised one, or a prepared ``fixture`` to
+    skip setup entirely (the caller is then responsible for having
+    built it under ``seed`` — e.g. the CLI's trace-recording path,
+    which prepares once and both simulates and records from it).
     """
     rng_mod.set_seed(seed)
-    fixture = prepare_simulation(scenario, scale, sp_net=sp_net, config=config)
+    if fixture is None:
+        fixture = prepare_simulation(
+            scenario, scale, sp_net=sp_net, config=config
+        )
     # "all" expands from the live registry, so policies registered after
     # import are simulated too.
     policies = list(POLICIES.names()) if policy == "all" else [policy]

@@ -1,0 +1,83 @@
+"""Shared latency-statistics helpers for the serving layer.
+
+Before this module existed, the engine, the fleet, and both report
+builders each carried a private ``np.percentile`` wrapper with its own
+(and in one case missing) empty-input guard.  Every percentile a
+serving report prints now flows through :func:`percentile_s` /
+:func:`optional_percentile_s`, so the empty-stream convention is stated
+exactly once:
+
+* :func:`percentile_s` — report-level statistics: an empty input is a
+  *result* ("no requests completed") and comes back as ``nan`` so it
+  still formats and serialises;
+* :func:`optional_percentile_s` — control-loop signals (SLO feedback,
+  autoscaler): an empty window is the *absence* of a signal and comes
+  back as ``None`` so callers branch instead of comparing against nan
+  (a comparison that is always False and silently disables the signal).
+
+:class:`LatencySummary` bundles the p50/p95/p99/mean/max block every
+report repeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = [
+    "percentile_s",
+    "optional_percentile_s",
+    "LatencySummary",
+]
+
+
+def percentile_s(values, q: float) -> float:
+    """``np.percentile`` with an explicit empty guard -> ``nan``."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.percentile(arr, q))
+
+
+def optional_percentile_s(values, q: float) -> Optional[float]:
+    """``np.percentile`` with an explicit empty guard -> ``None``.
+
+    For sliding-window feedback signals, where "no data yet" must be
+    distinguishable from any real latency value.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return None
+    return float(np.percentile(arr, q))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The p50/p95/p99/mean/max block shared by every serving report."""
+
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    mean_s: float
+    max_s: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "LatencySummary":
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            nan = float("nan")
+            return cls(
+                p50_s=nan, p95_s=nan, p99_s=nan, mean_s=nan, max_s=nan,
+                count=0,
+            )
+        return cls(
+            p50_s=float(np.percentile(arr, 50)),
+            p95_s=float(np.percentile(arr, 95)),
+            p99_s=float(np.percentile(arr, 99)),
+            mean_s=float(arr.mean()),
+            max_s=float(arr.max()),
+            count=int(arr.size),
+        )

@@ -1,0 +1,182 @@
+"""Deterministic fault injection for fleet simulations.
+
+A :class:`FaultSchedule` is an ordered list of :class:`FaultEvent`\\ s
+applied to a :class:`~repro.serve.cluster.ReplicaFleet` as the virtual
+clock reaches each event's time — :func:`~repro.serve.cluster.simulate_fleet`
+calls :meth:`FaultSchedule.apply_due` on every clock advance and folds
+:meth:`FaultSchedule.next_time_s` into its event-time computation, so
+an injection lands at exactly its scheduled instant and the whole run
+stays bit-reproducible.
+
+Two fault kinds:
+
+* ``replica_outage`` — a replica goes hard-down at ``time_s`` and (if
+  ``duration_s`` is finite) recovers at ``time_s + duration_s``.  Its
+  queued requests are re-routed to the survivors; the fleet refuses to
+  take down its last active replica (the event is logged as skipped).
+* ``latency_spike`` — every affected engine's service times are
+  multiplied by ``factor`` for the window, modelling thermal
+  throttling, a noisy neighbour, or DVFS kicking in.
+
+Configs express fault times as *fractions of the trace span* (0..1), so
+one fault plan means the same thing across scales and scenarios;
+:func:`resolve_fault_plan` turns fractions into absolute virtual
+seconds against a concrete request stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "resolve_fault_plan",
+]
+
+FAULT_KINDS = ("replica_outage", "latency_spike")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled injection at an absolute virtual time.
+
+    ``replica`` selects the target: an explicit index, or ``-1`` for
+    "highest-index active replica at application time" (outages) /
+    "every replica" (spikes).  ``factor`` is only read by spikes.
+    ``pair_key`` ties a windowed fault's begin and end events together
+    (outage -> recovery), so a recovery finds the replica its outage
+    actually took down even when the target was resolved dynamically.
+    It must be unique per fault — two simultaneous outages carry
+    distinct keys (:func:`resolve_fault_plan` uses the fault's index).
+    """
+
+    time_s: float
+    kind: str
+    replica: int = -1
+    factor: float = 1.0
+    pair_key: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS + ("replica_recovery", "spike_end"):
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"available: {list(FAULT_KINDS)}"
+            )
+
+
+class FaultSchedule:
+    """Time-ordered fault events, applied once each as the clock passes.
+
+    Stateful across one simulation (events are consumed and outage
+    targets remembered for their recovery); build a fresh schedule per
+    run — :func:`resolve_fault_plan` is cheap.
+    """
+
+    def __init__(self, events: Sequence[FaultEvent]):
+        self._events: List[FaultEvent] = sorted(
+            events, key=lambda e: (e.time_s, e.kind)
+        )
+        self._next = 0
+        # outage index -> replica actually failed (resolved at apply time)
+        self._outage_targets: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._events) - self._next
+
+    def next_time_s(self) -> Optional[float]:
+        """Virtual time of the next unapplied event (None when drained)."""
+        if self._next >= len(self._events):
+            return None
+        return self._events[self._next].time_s
+
+    def apply_due(self, now: float, fleet) -> int:
+        """Apply every event with ``time_s <= now`` in order; count them."""
+        applied = 0
+        while (
+            self._next < len(self._events)
+            and self._events[self._next].time_s <= now
+        ):
+            event = self._events[self._next]
+            self._next += 1
+            self._apply(event, fleet)
+            applied += 1
+        return applied
+
+    # ------------------------------------------------------------------
+    def _resolve_outage_target(self, event: FaultEvent, fleet) -> Optional[int]:
+        from ..serve.cluster import ACTIVE
+
+        if event.replica >= 0:
+            return event.replica
+        # -1: highest-index active replica at application time.
+        states = fleet.replica_states()
+        for index in range(len(states) - 1, -1, -1):
+            if states[index] == ACTIVE:
+                return index
+        return None
+
+    def _apply(self, event: FaultEvent, fleet) -> None:
+        if event.kind == "replica_outage":
+            target = self._resolve_outage_target(event, fleet)
+            if target is None:
+                return
+            if fleet.fail_replica(target, event.time_s):
+                self._outage_targets[event.pair_key] = target
+        elif event.kind == "replica_recovery":
+            target = self._outage_targets.pop(event.pair_key, None)
+            if target is not None:
+                fleet.recover_replica(target, event.time_s)
+        elif event.kind == "latency_spike":
+            fleet.set_service_scale(
+                event.factor, event.time_s,
+                index=None if event.replica < 0 else event.replica,
+            )
+        elif event.kind == "spike_end":
+            fleet.set_service_scale(
+                1.0, event.time_s,
+                index=None if event.replica < 0 else event.replica,
+            )
+
+
+def resolve_fault_plan(
+    faults: Sequence, span_s: float
+) -> FaultSchedule:
+    """Expand fractional fault configs into an absolute schedule.
+
+    ``faults`` is a sequence of
+    :class:`~repro.api.config.FaultConfig`-shaped objects (``kind``,
+    ``at``, ``duration``, ``replica``, ``factor`` attributes, times as
+    fractions of ``span_s``).  Each windowed fault expands into its
+    begin event plus the matching recovery/spike-end event.
+    """
+    events: List[FaultEvent] = []
+    for index, fault in enumerate(faults):
+        start_s = fault.at * span_s
+        end_s = (fault.at + fault.duration) * span_s
+        if fault.kind == "replica_outage":
+            events.append(FaultEvent(
+                time_s=start_s, kind="replica_outage", replica=fault.replica,
+                pair_key=index,
+            ))
+            if fault.duration > 0:
+                events.append(FaultEvent(
+                    time_s=end_s, kind="replica_recovery",
+                    replica=fault.replica, pair_key=index,
+                ))
+        elif fault.kind == "latency_spike":
+            events.append(FaultEvent(
+                time_s=start_s, kind="latency_spike",
+                replica=fault.replica, factor=fault.factor,
+            ))
+            events.append(FaultEvent(
+                time_s=end_s, kind="spike_end", replica=fault.replica,
+            ))
+        else:
+            raise ValueError(
+                f"unknown fault kind {fault.kind!r}; "
+                f"available: {list(FAULT_KINDS)}"
+            )
+    return FaultSchedule(events)

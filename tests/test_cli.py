@@ -76,6 +76,27 @@ class TestHelp:
             main([])
         assert excinfo.value.code == 2
 
+    def test_loadtest_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["loadtest", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--config" in out and "--output-dir" in out
+
+
+class TestLoadtest:
+    def test_missing_config_is_error(self, capsys, tmp_path):
+        assert main(
+            ["loadtest", "--config", str(tmp_path / "nope.json")]
+        ) == 2
+        assert "invalid loadtest config" in capsys.readouterr().err
+
+    def test_invalid_config_is_error(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"scenarios": ["warp-speed"]}')
+        assert main(["loadtest", "--config", str(path)]) == 2
+        assert "warp-speed" in capsys.readouterr().err
+
 
 class TestChoicesComeFromManifest:
     """CLI choice lists are built from the import-free registry manifest
@@ -107,6 +128,28 @@ class TestChoicesComeFromManifest:
         assert tuple(choices["policy"]) == ("all",) + names["policies"]
         assert tuple(choices["scale"]) == names["serve_scales"]
         assert tuple(choices["router"]) == names["routers"]
+
+    def test_workload_scenarios_reach_parser_without_hand_edits(self):
+        """Scenarios registered by repro.workload appear in the
+        serve-sim parser purely through the registry manifest — the
+        parser has no literal scenario list to forget to update."""
+        from repro.api.manifest import manifest
+
+        serve = self._subparser("serve-sim")
+        scenario_choices = next(
+            a.choices for a in serve._actions if a.dest == "scenario"
+        )
+        for name in ("flash_crowd", "ramp", "sawtooth", "on_off",
+                     "pareto_heavy_tail"):
+            assert name in manifest()["scenarios"]
+            assert name in scenario_choices
+
+    def test_trace_transforms_in_manifest(self):
+        from repro.api.manifest import manifest
+
+        assert manifest()["trace_transforms"] == (
+            "time_scale", "splice", "tenant_mix", "amplitude_modulate",
+        )
 
     def test_run_scale_choices_match_manifest(self):
         from repro.api.manifest import manifest

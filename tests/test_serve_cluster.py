@@ -249,6 +249,94 @@ class TestAutoscaler:
             AutoscaleConfig(min_replicas=0)
 
 
+class TestAutoscalerLifecycleEdges:
+    """Regressions for the replica lifecycle the autoscaler drives:
+    draining replicas are invisible to every router, warm re-activation
+    reuses the drained engine instead of re-materializing, and
+    scale-down stops at the configured floor."""
+
+    def drained_fleet(self, router):
+        """3 replicas, middle one draining with work still queued."""
+        fleet = ReplicaFleet(engine_factory(), replicas=3, router=router)
+        fleet._replicas[1].engine.submit(request(99, 0.0))
+        fleet._replicas[1].state = "draining"
+        return fleet
+
+    @pytest.mark.parametrize(
+        "router", ["round_robin", "least_queue", "latency_aware"]
+    )
+    def test_draining_replica_excluded_by_every_router(self, router):
+        fleet = self.drained_fleet(router)
+        # The draining replica has the SHORTEST queue after one submit
+        # lands elsewhere, so a router that forgot to filter by state
+        # (least_queue, latency_aware) would pick it immediately.
+        targets = [fleet.submit(request(i, 0.0)) for i in range(6)]
+        assert 1 not in targets
+        assert set(targets) <= {0, 2}
+
+    def test_warm_reactivation_keeps_the_engine_instance(self):
+        fleet = ReplicaFleet(
+            engine_factory(), replicas=2, router="least_queue",
+            autoscaler=Autoscaler(
+                AutoscaleConfig(min_replicas=1, max_replicas=3)
+            ),
+        )
+        drained_engine = fleet._replicas[1].engine
+        fleet._scale_down()
+        assert fleet.replica_states() == ("active", "stopped")
+        fleet._scale_up()
+        # Re-activation restores the SAME engine (and its model): no
+        # new replica was materialized and no weights were rebuilt.
+        assert fleet.replica_states() == ("active", "active")
+        assert fleet._replicas[1].engine is drained_engine
+        assert fleet.size == 2
+
+    def test_scale_up_prefers_draining_over_stopped_over_new(self):
+        fleet = ReplicaFleet(engine_factory(), replicas=3)
+        fleet.max_replicas = 4
+        fleet._replicas[1].state = "stopped"
+        fleet._replicas[2].engine.submit(request(0, 0.0))
+        fleet._replicas[2].state = "draining"
+        fleet._scale_up()
+        # The draining replica (work in flight) comes back first.
+        assert fleet.replica_states() == ("active", "stopped", "active")
+        fleet._scale_up()
+        assert fleet.replica_states() == ("active", "active", "active")
+        fleet._scale_up()            # only now is a new one materialized
+        assert fleet.size == 4
+
+    def test_scale_down_never_drops_below_min_replicas(self):
+        fleet = ReplicaFleet(
+            engine_factory(), replicas=2, router="least_queue",
+            autoscaler=Autoscaler(AutoscaleConfig(
+                min_replicas=2, max_replicas=3,
+                up_pressure=50.0,        # never scale up
+                down_pressure=10.0,      # always "quiet": pressure tiny
+            )),
+        )
+        # A long trickle of idle time: the down signal holds at every
+        # evaluation, yet the floor must hold too.
+        simulate_fleet(
+            fleet, [request(i, 0.05 * i) for i in range(24)]
+        )
+        assert fleet.num_active == 2
+        assert all(e.to_replicas >= 2 for e in fleet.scale_events)
+
+    def test_min_floor_holds_even_after_burst_cycle(self):
+        fleet = ReplicaFleet(
+            engine_factory(), replicas=2, router="least_queue",
+            autoscaler=Autoscaler(AutoscaleConfig(
+                min_replicas=2, max_replicas=3,
+                up_pressure=1.0, down_pressure=0.5, cooldown_batches=1.0,
+            )),
+        )
+        burst = [request(i, 0.0001 * i) for i in range(48)]
+        trickle = [request(48 + i, 0.5 + 0.05 * i) for i in range(20)]
+        simulate_fleet(fleet, burst + trickle)
+        assert fleet.num_active >= 2
+        assert all(e.to_replicas >= 2 for e in fleet.scale_events)
+
+
 class TestMaterialize:
     def test_materialize_returns_independent_identical_models(self, tmp_path):
         from repro.tensor import Tensor, no_grad
