@@ -58,6 +58,20 @@ diff -r "$LOADTEST_DIR_A" "$LOADTEST_DIR_B" \
 grep -q '"energy_per_request_pj"' "$LOADTEST_DIR_A/loadtest_report.json" \
     || { echo "loadtest report lacks the energy-per-request column"; exit 1; }
 
+echo "==> obs smoke (tracing must not change the deterministic report)"
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$PIPELINE_RUN_DIR" "$LOADTEST_DIR_A" "$LOADTEST_DIR_B" "$OBS_DIR"' EXIT
+python -m repro loadtest --config examples/loadtest_smoke.json \
+    --output-dir "$OBS_DIR" --obs --quiet
+cmp "$LOADTEST_DIR_A/loadtest_report.json" "$OBS_DIR/loadtest_report.json" \
+    || { echo "traced loadtest report differs from untraced run"; exit 1; }
+for artifact in obs/trace_events.jsonl obs/metrics.prom obs/metrics.jsonl; do
+    test -f "$OBS_DIR/$artifact" \
+        || { echo "missing obs artifact: $artifact"; exit 1; }
+done
+python -m repro obs "$OBS_DIR" > /dev/null \
+    || { echo "repro obs failed to render the traced run dir"; exit 1; }
+
 echo "==> perf bench smoke (gated on benchmarks/perf/baseline.json)"
 python -m repro bench --scale smoke
 

@@ -7,9 +7,13 @@ Usage::
     python -m repro run all --scale default
     python -m repro bench --scale smoke
     python -m repro serve-sim --scenario bursty --policy all --scale smoke
-    python -m repro loadtest --config examples/loadtest_smoke.json
+    python -m repro loadtest --config examples/loadtest_smoke.json --obs
+    python -m repro obs runs/loadtest-smoke
     python -m repro pipeline validate --config examples/pipeline_smoke.json
     python -m repro pipeline run --config examples/pipeline_smoke.json
+
+All user-facing output flows through :mod:`repro.obs.console` (one seam
+for quiet mode / teeing instead of scattered ``print`` calls).
 
 Every ``choices=`` list below comes from the import-free registry
 manifest (:mod:`repro.api.manifest`), so parser construction never
@@ -20,9 +24,9 @@ with the registries by construction, not by hand-copied literals.
 from __future__ import annotations
 
 import argparse
-import sys
 
 from .api.manifest import choices
+from .obs.console import error, info
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -90,6 +94,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="save the simulated arrival schedule as a replayable "
              "JSONL trace (see repro.workload.trace)",
     )
+    serve.add_argument(
+        "--obs-dir", default=None, metavar="DIR",
+        help="record span events + metrics and write the obs/ sidecar "
+             "bundle under DIR (inspect with `repro obs DIR`)",
+    )
 
     loadtest = sub.add_parser(
         "loadtest",
@@ -116,6 +125,44 @@ def _build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument(
         "--quiet", action="store_true",
         help="only write artifacts, do not print the summary table",
+    )
+    loadtest.add_argument(
+        "--obs", action="store_true",
+        help="record span tracing + metrics for the sweep into the "
+             "output dir's obs/ sidecar (the report itself stays "
+             "byte-identical to an untraced run)",
+    )
+
+    obs = sub.add_parser(
+        "obs",
+        help="inspect a recorded run dir: timeline, Gantt, time series",
+        description=(
+            "read the obs/trace_events.jsonl a traced run wrote "
+            "(repro loadtest --obs, serve-sim --obs-dir, pipeline run "
+            "--obs) and render per-replica timelines, a bit-occupancy "
+            "Gantt summary, queue-depth/p95 time series, and the "
+            "slowest-requests table as markdown"
+        ),
+    )
+    obs.add_argument(
+        "run_dir", metavar="RUN_DIR",
+        help="run directory (or trace file) to inspect",
+    )
+    obs.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="rows in the slowest-requests table (default 10)",
+    )
+    obs.add_argument(
+        "--buckets", type=int, default=12, metavar="N",
+        help="time-series buckets across the run span (default 12)",
+    )
+    obs.add_argument(
+        "--width", type=int, default=48, metavar="N",
+        help="Gantt columns across the run span (default 48)",
+    )
+    obs.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the rendered markdown to PATH",
     )
 
     pipeline = sub.add_parser(
@@ -152,6 +199,11 @@ def _build_parser() -> argparse.ArgumentParser:
                 "--seed", type=int, default=None,
                 help="override the config's seed",
             )
+            cmd.add_argument(
+                "--obs", action="store_true",
+                help="record stage spans + serve telemetry into the "
+                     "run dir's obs/ sidecar (inspect with `repro obs`)",
+            )
     return parser
 
 
@@ -159,7 +211,7 @@ def _cmd_list() -> int:
     # Experiment names come from the manifest: listing must not pay the
     # cost of importing every experiment module.
     for name in choices("experiments"):
-        print(name)
+        info(name)
     return 0
 
 
@@ -173,19 +225,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
-        print(f"unknown experiment(s): {unknown}; try `python -m repro list`",
-              file=sys.stderr)
+        error(f"unknown experiment(s): {unknown}; "
+              f"try `python -m repro list`")
         return 2
     for name in names:
         rng.set_seed(args.seed)
         result = EXPERIMENTS.get(name)(scale=args.scale, seed=args.seed)
-        print(result.to_text())
-        print()
+        info(result.to_text())
+        info()
     return 0
 
 
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
     import json
+
+    from .obs.tracer import NULL_TRACER
 
     fixture = None
     if args.record_trace:
@@ -197,6 +251,15 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
 
         rng_mod.set_seed(args.seed)
         fixture = prepare_simulation(args.scenario, args.scale)
+
+    tracer = NULL_TRACER
+    metrics = None
+    if args.obs_dir:
+        from .obs.metrics import MetricsRecorder, MetricsRegistry
+        from .obs.tracer import Tracer
+
+        metrics = MetricsRegistry()
+        tracer = Tracer(sinks=(MetricsRecorder(metrics),))
 
     fleet_mode = args.replicas is not None or args.autoscale_max is not None
     if fleet_mode:
@@ -212,33 +275,33 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                     max_replicas=args.autoscale_max,
                 )
             except ConfigError as exc:
-                print(f"invalid --autoscale-max: {exc}", file=sys.stderr)
+                error(f"invalid --autoscale-max: {exc}")
                 return 2
         if replicas < 1:
-            print(f"--replicas {replicas} must be >= 1", file=sys.stderr)
+            error(f"--replicas {replicas} must be >= 1")
             return 2
         if autoscale is not None and replicas > autoscale.max_replicas:
-            print(
+            error(
                 f"--replicas {replicas} exceeds --autoscale-max "
-                f"{autoscale.max_replicas}",
-                file=sys.stderr,
+                f"{autoscale.max_replicas}"
             )
             return 2
         reports = run_fleet_sim(
             scenario=args.scenario, policy=args.policy,
             scale=args.scale, seed=args.seed,
             replicas=replicas, router=args.router, autoscale=autoscale,
-            fixture=fixture,
+            fixture=fixture, tracer=tracer,
         )
-        print(format_fleet_reports(reports))
+        info(format_fleet_reports(reports))
     else:
         from .serve import format_reports, run_serve_sim
 
         reports = run_serve_sim(
             scenario=args.scenario, policy=args.policy,
             scale=args.scale, seed=args.seed, fixture=fixture,
+            tracer=tracer,
         )
-        print(format_reports(reports))
+        info(format_reports(reports))
     if args.output:
         with open(args.output, "w") as handle:
             json.dump(
@@ -246,24 +309,30 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                 indent=2, sort_keys=True,
             )
             handle.write("\n")
-        print(f"\nwrote {args.output}")
+        info(f"\nwrote {args.output}")
     if args.record_trace:
         from .workload.trace import record_trace
 
         trace = record_trace(fixture, args.scenario, args.seed)
         trace.save(args.record_trace)
-        print(f"recorded {len(trace)}-request trace -> {args.record_trace}")
+        info(f"recorded {len(trace)}-request trace -> {args.record_trace}")
+    if args.obs_dir:
+        from .obs.artifacts import write_obs_artifacts
+
+        paths = write_obs_artifacts(args.obs_dir, tracer=tracer,
+                                    metrics=metrics)
+        info(f"recorded {len(tracer)} span events -> {paths['trace']} "
+             f"(inspect with `repro obs {args.obs_dir}`)")
     return 0
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
-    from .api.config import ConfigError, LoadTestConfig
+    from .api.config import ConfigError, LoadTestConfig, ObsConfig
 
     try:
         config = LoadTestConfig.load(args.config)
     except ConfigError as exc:
-        print(f"invalid loadtest config {args.config}: {exc}",
-              file=sys.stderr)
+        error(f"invalid loadtest config {args.config}: {exc}")
         return 2
     from .workload.loadtest import (
         render_markdown,
@@ -271,13 +340,32 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         write_loadtest_artifacts,
     )
 
-    payload = run_loadtest(config)
+    payload = run_loadtest(config, obs=ObsConfig() if args.obs else None)
     out_dir = args.output_dir or f"runs/{config.name}"
     paths = write_loadtest_artifacts(payload, out_dir)
     if not args.quiet:
-        print(render_markdown(payload))
+        info(render_markdown(payload))
     for kind, path in sorted(paths.items()):
-        print(f"  {kind:<16} {path}")
+        info(f"  {kind:<16} {path}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs.views import render_run_dir
+
+    try:
+        rendered = render_run_dir(
+            args.run_dir, top=args.top, buckets=args.buckets,
+            width=args.width,
+        )
+    except FileNotFoundError as exc:
+        error(str(exc))
+        return 2
+    info(rendered)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+        info(f"\nwrote {args.output}")
     return 0
 
 
@@ -295,28 +383,28 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     import dataclasses
     import json
 
-    config, error = _load_pipeline_config(args.config)
-    if error is not None:
-        print(f"invalid pipeline config {args.config}: {error}",
-              file=sys.stderr)
+    config, problem = _load_pipeline_config(args.config)
+    if problem is not None:
+        error(f"invalid pipeline config {args.config}: {problem}")
         return 2
 
     if args.pipeline_command == "validate":
-        print(f"ok: {args.config} is a valid pipeline config "
-              f"(name={config.name!r})")
+        info(f"ok: {args.config} is a valid pipeline config "
+             f"(name={config.name!r})")
         return 0
 
     if args.pipeline_command == "show":
         from .api.pipeline import STAGES
 
-        print(json.dumps(config.to_dict(), indent=2, sort_keys=True))
+        info(json.dumps(config.to_dict(), indent=2, sort_keys=True))
         run_dir = config.run_dir or f"runs/{config.name}"
-        print(f"\nrun_dir: {run_dir}")
-        print(f"stages:  {' -> '.join(STAGES)}"
-              + ("" if config.search else "  (generate: zoo pass-through)"))
+        info(f"\nrun_dir: {run_dir}")
+        info(f"stages:  {' -> '.join(STAGES)}"
+             + ("" if config.search else "  (generate: zoo pass-through)"))
         return 0
 
     # run
+    from .api.config import ObsConfig
     from .api.pipeline import STAGES, PipelineError, run_pipeline
 
     stages = None
@@ -324,31 +412,36 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         stages = [s.strip() for s in args.stages.split(",") if s.strip()]
         unknown = [s for s in stages if s not in STAGES]
         if not stages or unknown:
-            print(
+            error(
                 f"--stages {args.stages!r} names no valid stage; "
                 f"available: {list(STAGES)}" if not stages else
-                f"unknown stage(s) {unknown}; available: {list(STAGES)}",
-                file=sys.stderr,
+                f"unknown stage(s) {unknown}; available: {list(STAGES)}"
             )
             return 2
     if args.seed is not None:
         config = dataclasses.replace(config, seed=args.seed)
     try:
-        result = run_pipeline(config, run_dir=args.run_dir, stages=stages)
+        result = run_pipeline(
+            config, run_dir=args.run_dir, stages=stages,
+            obs=ObsConfig() if args.obs else None,
+        )
     except PipelineError as exc:
-        print(f"pipeline failed: {exc}", file=sys.stderr)
+        error(f"pipeline failed: {exc}")
         return 1
-    print(f"pipeline {config.name!r}: "
-          f"{' -> '.join(result.stages_run)} in {result.seconds:.1f}s")
+    info(f"pipeline {config.name!r}: "
+         f"{' -> '.join(result.stages_run)} in {result.seconds:.1f}s")
     for stage in result.stages_run:
-        print(f"  {stage:<9} {result.artifacts[stage]}")
+        info(f"  {stage:<9} {result.artifacts[stage]}")
     train_report = result.reports.get("train")
     if train_report:
         accs = "  ".join(
             f"{entry['bits']}: {100 * entry['accuracy']:.1f}%"
             for entry in train_report["accuracies"]
         )
-        print(f"  accuracy  {accs}")
+        info(f"  accuracy  {accs}")
+    if args.obs:
+        info(f"  telemetry {result.run_dir}/obs "
+             f"(inspect with `repro obs {result.run_dir}`)")
     return 0
 
 
@@ -366,6 +459,8 @@ def main(argv=None) -> int:
         return _cmd_serve_sim(args)
     if args.command == "loadtest":
         return _cmd_loadtest(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "pipeline":
         return _cmd_pipeline(args)
     raise AssertionError(f"unhandled command {args.command!r}")

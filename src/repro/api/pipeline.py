@@ -32,7 +32,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from .config import PipelineConfig
+from ..obs.tracer import NULL_TRACER
+from .config import ObsConfig, PipelineConfig
 from .registry import DEVICES, POLICIES, SEARCH_SPACES, STRATEGIES
 
 __all__ = [
@@ -89,11 +90,32 @@ class PipelineResult:
 class Pipeline:
     """Run the generate -> train -> deploy -> serve flow for one config."""
 
-    def __init__(self, config: PipelineConfig, run_dir: Optional[str] = None):
+    def __init__(
+        self,
+        config: PipelineConfig,
+        run_dir: Optional[str] = None,
+        obs: Optional[ObsConfig] = None,
+    ):
         self.config = config
         self.run_dir = run_dir or config.run_dir or os.path.join(
             "runs", config.name
         )
+        # Telemetry rides next to the config, never inside it: the
+        # config is written verbatim into the run dir and embedded in
+        # artifacts, and traced runs must produce byte-identical
+        # reports.  ``run()`` writes the obs/ sidecar bundle at the end.
+        self._obs = obs
+        self._metrics = None
+        self.tracer = NULL_TRACER
+        if obs is not None and (obs.trace or obs.metrics):
+            from ..obs.metrics import MetricsRecorder, MetricsRegistry
+            from ..obs.tracer import Tracer
+
+            self._metrics = MetricsRegistry() if obs.metrics else None
+            self.tracer = Tracer(
+                sinks=(MetricsRecorder(self._metrics),)
+                if self._metrics is not None else ()
+            )
 
     # ------------------------------------------------------------------
     # Artifact plumbing
@@ -456,6 +478,11 @@ class Pipeline:
                     router=cfg.serve.router,
                     autoscale=cfg.serve.autoscale,
                     registry=registry, model_name="checkpoint",
+                    tracer=self.tracer.bind(
+                        scenario=cfg.serve.scenario, policy=name,
+                        router=cfg.serve.router,
+                        replicas=cfg.serve.replicas,
+                    ),
                 )
                 end_s = simulate_fleet(fleet, fixture.requests)
                 reports.append(
@@ -466,7 +493,12 @@ class Pipeline:
                 )
         else:
             for name in policies:
-                engine = make_engine(fixture, name)
+                engine = make_engine(
+                    fixture, name,
+                    tracer=self.tracer.bind(
+                        scenario=cfg.serve.scenario, policy=name,
+                    ),
+                )
                 end_s = simulate(engine, fixture.requests)
                 reports.append(
                     build_report(
@@ -501,11 +533,29 @@ class Pipeline:
         os.makedirs(self.run_dir, exist_ok=True)
         self.config.save(self.artifact_path("config.json"))
         for stage in chosen:
+            stage_start = time.time()
             result.reports[stage] = getattr(self, stage)()
             result.stages_run.append(stage)
             result.artifacts[stage] = self.artifact_path(ARTIFACTS[stage])
+            if self.tracer.enabled:
+                # Stage spans run on the wall clock (offset from run
+                # start), unlike the sim-clock serve events they wrap.
+                self.tracer.emit(
+                    "stage",
+                    round(stage_start - start, 6),
+                    stage=stage,
+                    seconds=round(time.time() - stage_start, 3),
+                )
         result.seconds = round(time.time() - start, 3)
         self._write_json("pipeline_report.json", result.to_json_dict())
+        if self._obs is not None and (self.tracer.enabled or self._metrics):
+            from ..obs.artifacts import write_obs_artifacts
+
+            write_obs_artifacts(
+                self.run_dir,
+                tracer=self.tracer if self._obs.trace else None,
+                metrics=self._metrics,
+            )
         return result
 
 
@@ -513,6 +563,7 @@ def run_pipeline(
     config: PipelineConfig,
     run_dir: Optional[str] = None,
     stages: Optional[Sequence[str]] = None,
+    obs: Optional[ObsConfig] = None,
 ) -> PipelineResult:
     """One-call facade: ``run_pipeline(PipelineConfig.load(path))``."""
-    return Pipeline(config, run_dir=run_dir).run(stages)
+    return Pipeline(config, run_dir=run_dir, obs=obs).run(stages)

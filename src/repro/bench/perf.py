@@ -317,6 +317,25 @@ def _bench_serve(scale: BenchScale) -> Dict[str, Dict[str, float]]:
         "median_s": _median_seconds(run_autoscaled_fleet, scale.serve_repeats)
     }
 
+    def run_fleet_traced():
+        from ..obs.metrics import MetricsRecorder, MetricsRegistry
+        from ..obs.tracer import Tracer
+
+        tracer = Tracer(sinks=(MetricsRecorder(MetricsRegistry()),))
+        fleet = make_fleet(
+            fixture, "slo", replicas=4, router="least_queue", tracer=tracer,
+        )
+        simulate_fleet(fleet, fixture.requests)
+
+    # Same fleet sim with the full telemetry plane live (span events +
+    # metrics sink); its reference is the untraced fleet run, so the
+    # speedup column reads as tracing overhead (should sit near 1.0 —
+    # the acceptance bar is < 5% regression).
+    ops["fleet_sim_traced"] = {
+        "median_s": _median_seconds(run_fleet_traced, scale.serve_repeats),
+        "reference_s": ops["serve_fleet_sim_bursty"]["median_s"],
+    }
+
     tmp = tempfile.mkdtemp(prefix="repro-bench-ckpt-")
     try:
         base = os.path.join(tmp, "model")

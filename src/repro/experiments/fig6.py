@@ -186,4 +186,6 @@ def _edp_magnet(model, input_size, device, bits) -> float:
 
 
 if __name__ == "__main__":
-    print(run().to_text())
+    from ..obs.console import experiment_main
+
+    raise SystemExit(experiment_main(run))

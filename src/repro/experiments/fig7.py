@@ -138,4 +138,6 @@ def _max_flops(space) -> float:
 
 
 if __name__ == "__main__":
-    print(run().to_text())
+    from ..obs.console import experiment_main
+
+    raise SystemExit(experiment_main(run))

@@ -43,4 +43,6 @@ def run(scale="default", seed: int = 0) -> ExperimentResult:
 
 
 if __name__ == "__main__":
-    print(run().to_text())
+    from ..obs.console import experiment_main
+
+    raise SystemExit(experiment_main(run))

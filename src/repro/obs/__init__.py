@@ -1,0 +1,70 @@
+"""Telemetry plane: tracing, metrics, sidecar artifacts, run inspection.
+
+Stdlib-only by design — ``repro.obs`` is imported by the CLI front-end
+before any heavy dependency loads, and the parser-build import test
+pins that property.  The package splits into:
+
+* :mod:`~repro.obs.tracer` — per-request span/event tracing on the
+  simulation clock, with a zero-cost :data:`NULL_TRACER` disabled path;
+* :mod:`~repro.obs.metrics` — counters/gauges/histograms with
+  deterministic snapshots, Prometheus text and JSONL exporters, and the
+  :class:`MetricsRecorder` sink folding trace events into metrics;
+* :mod:`~repro.obs.artifacts` — the ``<run_dir>/obs/`` sidecar bundle;
+* :mod:`~repro.obs.views` — ``repro obs`` markdown rendering;
+* :mod:`~repro.obs.console` — the single CLI output seam.
+"""
+
+from .artifacts import (
+    METRICS_JSONL_FILENAME,
+    METRICS_PROM_FILENAME,
+    OBS_DIRNAME,
+    TRACE_FILENAME,
+    find_trace_file,
+    load_run_events,
+    write_obs_artifacts,
+)
+from .metrics import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRecorder,
+    MetricsRegistry,
+)
+from .tracer import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    BoundTracer,
+    NullTracer,
+    Tracer,
+    bits_label,
+    load_events_jsonl,
+)
+from .views import render_events, render_run_dir
+
+__all__ = [
+    "EVENT_KINDS",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "BoundTracer",
+    "bits_label",
+    "load_events_jsonl",
+    "LATENCY_BUCKETS_S",
+    "BATCH_SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsRecorder",
+    "OBS_DIRNAME",
+    "TRACE_FILENAME",
+    "METRICS_PROM_FILENAME",
+    "METRICS_JSONL_FILENAME",
+    "write_obs_artifacts",
+    "find_trace_file",
+    "load_run_events",
+    "render_events",
+    "render_run_dir",
+]

@@ -1,0 +1,54 @@
+"""The one place CLI-facing text leaves the process.
+
+Every ``python -m repro`` subcommand, and every experiment module's
+``__main__`` block, used to call bare ``print`` /
+``print(..., file=sys.stderr)`` — nine copy-pasted experiment mains and
+a dozen ad-hoc error paths.  Routing them through this module gives the
+repo a single seam for output policy: a future ``--quiet``/``--verbose``
+flag, log-file teeing, or structured CLI output is a change *here*, not
+a sweep over every call site.
+
+Deliberately tiny: ``info`` is user-facing stdout (suppressed by
+:func:`set_quiet`), ``error`` is stderr (never suppressed),
+``experiment_main`` is the shared body of an experiment module's
+``python -m repro.experiments.<name>`` entry point.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["info", "error", "set_quiet", "is_quiet", "experiment_main"]
+
+_quiet = False
+
+
+def set_quiet(quiet: bool = True) -> None:
+    """Suppress :func:`info` output (errors always print)."""
+    global _quiet
+    _quiet = bool(quiet)
+
+
+def is_quiet() -> bool:
+    return _quiet
+
+
+def info(message: str = "") -> None:
+    """User-facing result/progress text -> stdout."""
+    if not _quiet:
+        print(message)
+
+
+def error(message: str) -> None:
+    """Diagnostics -> stderr; never silenced by quiet mode."""
+    print(message, file=sys.stderr)
+
+
+def experiment_main(run) -> int:
+    """Shared ``__main__`` body for experiment modules.
+
+    ``run`` is the module's experiment entry point returning a result
+    with ``to_text()`` (the ``ExperimentResult`` contract).
+    """
+    info(run().to_text())
+    return 0

@@ -50,6 +50,7 @@ import numpy as np
 from .. import rng as rng_mod
 from ..api.config import AutoscaleConfig
 from ..api.registry import POLICIES
+from ..obs.tracer import NULL_TRACER
 from .engine import BatchRecord, BitLatencyModel, InferenceEngine, InferenceRequest
 from .routing import ReplicaSnapshot, Router, RouterInputs, make_router
 from .stats import LatencySummary, optional_percentile_s
@@ -186,10 +187,14 @@ class ReplicaFleet:
         router: Union[Router, str] = "least_queue",
         autoscaler: Optional[Autoscaler] = None,
         stats_window: int = 128,
+        tracer=NULL_TRACER,
     ):
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         self.replica_factory = replica_factory
+        # The fleet owns telemetry for its replicas: _materialize stamps
+        # the tracer and replica index onto every engine it builds.
+        self.tracer = tracer
         self.autoscaler = autoscaler
         if autoscaler is not None:
             cfg = autoscaler.config
@@ -217,7 +222,10 @@ class ReplicaFleet:
     # Replica pool
     # ------------------------------------------------------------------
     def _materialize(self) -> _Replica:
-        replica = _Replica(self.replica_factory(len(self._replicas)))
+        engine = self.replica_factory(len(self._replicas))
+        engine.replica_index = len(self._replicas)
+        engine.tracer = self.tracer
+        replica = _Replica(engine)
         self._replicas.append(replica)
         return replica
 
@@ -313,6 +321,14 @@ class ReplicaFleet:
                 f"outside the routable set of {len(routable)}"
             )
         idx, replica = routable[position]
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "route",
+                request.arrival_s,
+                request_id=request.request_id,
+                replica=idx,
+                active=len(routable),
+            )
         replica.engine.submit(request)
         return idx
 
@@ -339,6 +355,12 @@ class ReplicaFleet:
                 "time_s": now, "kind": "replica_outage", "replica": index,
                 "applied": False, "reason": "last active replica",
             })
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "fault", now, fault_kind="replica_outage",
+                    replica=index, applied=False,
+                    reason="last active replica",
+                )
             return False
         stranded = replica.engine.take_queue()
         replica.state = FAILED
@@ -348,6 +370,11 @@ class ReplicaFleet:
             "time_s": now, "kind": "replica_outage", "replica": index,
             "applied": True, "rerouted": len(stranded),
         })
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "fault", now, fault_kind="replica_outage",
+                replica=index, applied=True, rerouted=len(stranded),
+            )
         return True
 
     def recover_replica(self, index: int, now: float) -> bool:
@@ -366,6 +393,11 @@ class ReplicaFleet:
             "time_s": now, "kind": "replica_recovery", "replica": index,
             "applied": True,
         })
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "fault", now, fault_kind="replica_recovery",
+                replica=index, applied=True,
+            )
         return True
 
     def set_service_scale(
@@ -385,6 +417,11 @@ class ReplicaFleet:
             "time_s": now, "kind": "latency_spike", "factor": factor,
             "replica": index, "applied": True,
         })
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "fault", now, fault_kind="latency_spike",
+                factor=factor, replica=index, applied=True,
+            )
 
     # ------------------------------------------------------------------
     # Dispatch + scaling
@@ -434,6 +471,11 @@ class ReplicaFleet:
                     from_replicas=before, to_replicas=after, reason=reason,
                 )
             )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "autoscale", now, action=action,
+                    from_replicas=before, to_replicas=after, reason=reason,
+                )
             self.autoscaler.arm_cooldown(now, self)
 
     def _scale_up(self) -> None:
@@ -560,6 +602,7 @@ def make_fleet(
     autoscale: Optional[AutoscaleConfig] = None,
     registry=None,
     model_name: Optional[str] = None,
+    tracer=NULL_TRACER,
 ) -> ReplicaFleet:
     """Fleet over a :class:`~repro.serve.simulator.SimFixture`.
 
@@ -595,6 +638,7 @@ def make_fleet(
         replicas=replicas,
         router=router,
         autoscaler=autoscaler,
+        tracer=tracer,
     )
 
 
@@ -803,6 +847,7 @@ def run_fleet_sim(
     registry=None,
     model_name: Optional[str] = None,
     fixture=None,
+    tracer=NULL_TRACER,
 ) -> List[FleetReport]:
     """Build the model + traffic once, then fleet-simulate each policy.
 
@@ -824,9 +869,15 @@ def run_fleet_sim(
     policies = list(POLICIES.names()) if policy == "all" else [policy]
     reports = []
     for name in policies:
+        # Each policy's events carry its identity so a shared trace
+        # stream stays separable; binding onto NULL_TRACER is a no-op.
+        cell_tracer = tracer.bind(
+            scenario=scenario, policy=name, router=router, replicas=replicas,
+        )
         fleet = make_fleet(
             fixture, name, replicas=replicas, router=router,
             autoscale=autoscale, registry=registry, model_name=model_name,
+            tracer=cell_tracer,
         )
         end_s = simulate_fleet(fleet, fixture.requests)
         reports.append(

@@ -28,10 +28,11 @@ from collections import deque
 
 import numpy as np
 
+from ..obs.tracer import NULL_TRACER, bits_label
 from ..quant import SwitchablePrecisionNetwork
 from ..quant.layers import BitSpec, normalize_bits
 from ..tensor import Tensor, no_grad
-from .stats import optional_percentile_s, percentile_s
+from .stats import LatencySummary, optional_percentile_s, percentile_s
 
 __all__ = [
     "InferenceRequest",
@@ -281,6 +282,10 @@ class EngineStats:
     def percentile_s(self, q: float) -> float:
         return percentile_s(self.latencies_s, q)
 
+    def latency_summary(self) -> LatencySummary:
+        """Percentiles/mean/max over every completed request so far."""
+        return LatencySummary.from_values(self.latencies_s)
+
     def accuracy(self) -> Optional[float]:
         if not self.labelled:
             return None
@@ -310,6 +315,7 @@ class InferenceEngine:
         batch_timeout_s: Optional[float] = None,
         clock: Optional[Callable[[], float]] = None,
         stats_window: int = 128,
+        tracer=NULL_TRACER,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -337,6 +343,12 @@ class InferenceEngine:
         # latency spike, 1.0 otherwise).  Owned by the fault-injection
         # layer (repro.workload.faults); the engine only applies it.
         self.service_scale = 1.0
+        # Telemetry is strictly observational: NULL_TRACER by default,
+        # and every emit site is guarded on ``tracer.enabled`` so the
+        # disabled path builds no event kwargs.  ``replica_index`` is
+        # stamped by ReplicaFleet so fleet traces name their lanes.
+        self.tracer = tracer
+        self.replica_index = 0
         self.stats = EngineStats(sp_net.bit_widths, window=stats_window)
         self._queue: Deque[InferenceRequest] = deque()
         self._current_bits: BitSpec = sp_net.highest
@@ -348,6 +360,14 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     def submit(self, request: InferenceRequest) -> None:
         self._queue.append(request)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "enqueue",
+                request.arrival_s,
+                request_id=request.request_id,
+                replica=self.replica_index,
+                queue_depth=len(self._queue),
+            )
 
     @property
     def queue_depth(self) -> int:
@@ -414,6 +434,24 @@ class InferenceEngine:
                 f"controller chose {bits} outside candidate set "
                 f"{self.sp_net.bit_widths}"
             )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "policy_decision",
+                now,
+                replica=self.replica_index,
+                bits=bits,
+                batch_size=len(batch),
+                queue_depth=len(self._queue),
+                oldest_wait_s=inputs.oldest_wait_s,
+            )
+            if bits != self._current_bits:
+                self.tracer.emit(
+                    "bit_switch",
+                    now,
+                    replica=self.replica_index,
+                    from_bits=self._current_bits,
+                    to_bits=bits,
+                )
         predictions = self._forward(batch, bits)
         service_s = (
             self.latency_model.batch_latency_s(bits, len(batch))
@@ -438,6 +476,37 @@ class InferenceEngine:
         )
         self._current_bits = bits
         self.stats.record_batch(record)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "forward",
+                now,
+                replica=self.replica_index,
+                bits=bits,
+                size=len(batch),
+            )
+            self.tracer.emit(
+                "batch",
+                now,
+                replica=self.replica_index,
+                bits=bits,
+                size=len(batch),
+                start_s=now,
+                finish_s=finish,
+                service_s=service_s,
+                queue_depth=len(self._queue),
+            )
+            for result in results:
+                self.tracer.emit(
+                    "complete",
+                    finish,
+                    request_id=result.request_id,
+                    replica=self.replica_index,
+                    bits=bits,
+                    arrival_s=result.arrival_s,
+                    start_s=result.start_s,
+                    finish_s=result.finish_s,
+                    latency_s=result.latency_s,
+                )
         return record
 
     def drain(self, now: Optional[float] = None) -> List[BatchRecord]:

@@ -39,6 +39,7 @@ import numpy as np
 
 from .. import rng as rng_mod
 from ..api.registry import POLICIES, SCENARIOS, RegistryNames
+from ..obs.tracer import NULL_TRACER
 from ..data.synthetic import SyntheticSpec, make_synthetic
 from ..quant.layers import BitSpec
 from .checkpoint import SPNetConfig, build_sp_net
@@ -299,11 +300,9 @@ def build_report(
     end_s: float,
     slo_s: float,
 ) -> ServeReport:
-    from .stats import LatencySummary
-
     stats = engine.stats
     latencies = np.asarray(stats.latencies_s)
-    summary = LatencySummary.from_values(latencies)
+    summary = stats.latency_summary()
     duration = max(end_s, 1e-12)
     accuracy_per_bit = {
         _bits_key(b): (
@@ -458,7 +457,9 @@ def prepare_simulation(
     )
 
 
-def make_engine(fixture: SimFixture, policy: str) -> InferenceEngine:
+def make_engine(
+    fixture: SimFixture, policy: str, tracer=NULL_TRACER
+) -> InferenceEngine:
     """Fresh engine + controller for one policy over a prepared fixture."""
     controller = (
         make_policy("slo", slo_s=fixture.slo_s) if policy == "slo"
@@ -470,6 +471,7 @@ def make_engine(fixture: SimFixture, policy: str) -> InferenceEngine:
         fixture.latency_model,
         max_batch=fixture.scale.max_batch,
         clock=lambda: 0.0,
+        tracer=tracer,
     )
 
 
@@ -481,6 +483,7 @@ def run_serve_sim(
     sp_net=None,
     config: Optional[SPNetConfig] = None,
     fixture: Optional[SimFixture] = None,
+    tracer=NULL_TRACER,
 ) -> List[ServeReport]:
     """Build model + latency table once, then simulate each policy.
 
@@ -502,7 +505,11 @@ def run_serve_sim(
     policies = list(POLICIES.names()) if policy == "all" else [policy]
     reports = []
     for name in policies:
-        engine = make_engine(fixture, name)
+        # Stamp policy identity so a shared trace stream stays
+        # separable per policy; binding onto NULL_TRACER is a no-op.
+        engine = make_engine(
+            fixture, name, tracer=tracer.bind(scenario=scenario, policy=name)
+        )
         end_s = simulate(engine, fixture.requests)
         reports.append(
             build_report(

@@ -34,7 +34,10 @@ import os
 from typing import Dict, List, Optional, Tuple
 
 from .. import rng as rng_mod
-from ..api.config import LoadTestConfig
+from ..api.config import LoadTestConfig, ObsConfig
+from ..obs.artifacts import write_obs_artifacts
+from ..obs.metrics import MetricsRecorder, MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..serve.cluster import build_fleet_report, make_fleet, simulate_fleet
 from ..serve.simulator import get_serve_scale, prepare_simulation
 from .faults import resolve_fault_plan
@@ -140,8 +143,29 @@ def pareto_frontier(cells: List[Dict]) -> List[int]:
     return frontier
 
 
-def run_loadtest(config: LoadTestConfig) -> Dict:
-    """Sweep the grid; returns the ``loadtest_report.json`` payload."""
+def run_loadtest(
+    config: LoadTestConfig, obs: Optional[ObsConfig] = None
+) -> Dict:
+    """Sweep the grid; returns the ``loadtest_report.json`` payload.
+
+    ``obs`` enables the telemetry plane for the sweep: one tracer spans
+    the whole grid (each cell binds its scenario/policy/router/replicas
+    identity onto the shared stream) and a metrics registry folds the
+    events into counters/gauges/histograms.  Telemetry is deliberately
+    NOT part of :class:`LoadTestConfig` — the config is embedded in the
+    report payload, and the CI gate asserts a traced run's
+    ``loadtest_report.json`` is byte-identical to an untraced one, so
+    enablement must never leak into the report.  The live objects ride
+    in the payload under ``_telemetry`` and are stripped (written as
+    ``obs/`` sidecars) by :func:`write_loadtest_artifacts`.
+    """
+    tracer = NULL_TRACER
+    registry = None
+    if obs is not None and (obs.trace or obs.metrics):
+        registry = MetricsRegistry() if obs.metrics else None
+        tracer = Tracer(
+            sinks=(MetricsRecorder(registry),) if registry is not None else ()
+        )
     fixtures = _prepare_fixtures(config)
     cells: List[Dict] = []
     traces: Dict[str, Trace] = {}
@@ -157,6 +181,10 @@ def run_loadtest(config: LoadTestConfig) -> Dict:
                         fixture, policy,
                         replicas=replicas, router=router,
                         autoscale=config.autoscale,
+                        tracer=tracer.bind(
+                            scenario=scenario, policy=policy,
+                            router=router, replicas=replicas,
+                        ),
                     )
                     faults = (
                         resolve_fault_plan(config.faults, span_s)
@@ -200,6 +228,11 @@ def run_loadtest(config: LoadTestConfig) -> Dict:
             scenario: f"trace_{scenario}.jsonl" for scenario in traces
         }
         payload["_trace_objects"] = traces   # stripped before writing
+    if obs is not None and (obs.trace or obs.metrics):
+        payload["_telemetry"] = {          # stripped before writing
+            "tracer": tracer if obs.trace else None,
+            "metrics": registry,
+        }
     return payload
 
 
@@ -270,6 +303,7 @@ def write_loadtest_artifacts(payload: Dict, out_dir: str) -> Dict[str, str]:
     """Write report JSON + markdown (+ recorded traces); returns paths."""
     os.makedirs(out_dir, exist_ok=True)
     traces = payload.pop("_trace_objects", {})
+    telemetry = payload.pop("_telemetry", None)
     paths = {}
     report_path = os.path.join(out_dir, REPORT_NAME)
     with open(report_path, "w") as handle:
@@ -284,4 +318,10 @@ def write_loadtest_artifacts(payload: Dict, out_dir: str) -> Dict[str, str]:
         trace_path = os.path.join(out_dir, f"trace_{scenario}.jsonl")
         trace.save(trace_path)
         paths[f"trace_{scenario}"] = trace_path
+    if telemetry is not None:
+        paths.update(write_obs_artifacts(
+            out_dir,
+            tracer=telemetry.get("tracer"),
+            metrics=telemetry.get("metrics"),
+        ))
     return paths

@@ -470,3 +470,24 @@ class TestFleetEndToEnd:
         fixture = prepare_simulation("constant", FLEET_TINY, config=CFG)
         with pytest.raises(ValueError, match="model_name"):
             make_fleet(fixture, "static", registry=ModelRegistry())
+
+
+class TestScaleEvent:
+    def test_to_json_dict_round_trips(self):
+        from repro.serve import ScaleEvent
+
+        event = ScaleEvent(
+            time_s=1.25, action="scale_up", from_replicas=2,
+            to_replicas=3, reason="queue_pressure=2.10",
+        )
+        assert ScaleEvent(**event.to_json_dict()) == event
+
+    def test_json_dict_survives_serialization(self):
+        from repro.serve import ScaleEvent
+
+        event = ScaleEvent(
+            time_s=0.5, action="scale_down", from_replicas=4,
+            to_replicas=3, reason="idle",
+        )
+        wire = json.loads(json.dumps(event.to_json_dict()))
+        assert ScaleEvent(**wire) == event

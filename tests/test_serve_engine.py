@@ -296,3 +296,56 @@ class TestPolicyReattachSemantics:
             max_batch=4, clock=lambda: 0.0,
         )
         assert policy.choose_bits(inputs(queue_depth=40)) == before
+
+
+class TestEngineStatsWindow:
+    """Sliding-window p95 edge cases + the LatencySummary seam."""
+
+    @staticmethod
+    def stats(window):
+        from repro.serve.engine import EngineStats
+
+        return EngineStats(BITS, window=window)
+
+    @staticmethod
+    def batch(latencies, bits=8, first_id=0):
+        from repro.serve.engine import BatchRecord, InferenceResult
+
+        results = tuple(
+            InferenceResult(
+                request_id=first_id + i, arrival_s=0.0, start_s=0.0,
+                finish_s=lat, bits=bits, prediction=0,
+            )
+            for i, lat in enumerate(latencies)
+        )
+        finish = max(lat for lat in latencies)
+        return BatchRecord(
+            bits=bits, start_s=0.0, finish_s=finish, results=results
+        )
+
+    def test_empty_window_has_no_p95(self):
+        assert self.stats(window=4).recent_p95_s() is None
+
+    def test_single_sample_is_its_own_p95(self):
+        stats = self.stats(window=4)
+        stats.record_batch(self.batch([0.030]))
+        assert stats.recent_p95_s() == pytest.approx(0.030)
+
+    def test_window_evicts_oldest_samples(self):
+        stats = self.stats(window=4)
+        # One slow outlier, then enough fast requests to push it out.
+        stats.record_batch(self.batch([5.0]))
+        stats.record_batch(self.batch([0.010, 0.010], first_id=1))
+        assert stats.recent_p95_s() > 1.0        # outlier still in window
+        stats.record_batch(self.batch([0.010, 0.010], first_id=3))
+        assert stats.recent_p95_s() == pytest.approx(0.010)
+        # The full-history percentile still remembers the outlier.
+        assert stats.percentile_s(100) == pytest.approx(5.0)
+
+    def test_latency_summary_matches_full_history(self):
+        stats = self.stats(window=2)
+        stats.record_batch(self.batch([0.010, 0.020, 0.040]))
+        summary = stats.latency_summary()
+        assert summary.mean_s == pytest.approx(sum([0.010, 0.020, 0.040]) / 3)
+        assert summary.max_s == pytest.approx(0.040)
+        assert summary.p50_s == pytest.approx(0.020)
