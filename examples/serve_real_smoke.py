@@ -1,0 +1,150 @@
+"""Real serving plane end to end, through the library API.
+
+The programmatic version of ``repro serve-real``: build a tiny
+switchable-precision checkpoint, spawn a real worker-pool behind the
+asyncio gateway, replay a recorded workload trace through it over HTTP,
+scrape the live Prometheus endpoint mid-run, then validate the run
+against the discrete-event fleet simulator (the repo's oracle) with the
+sim-vs-real comparison harness.
+
+Exits non-zero if the metrics scrape shows no completed requests or the
+comparison verdict fails — this script doubles as the CI gate's
+library-level smoke.
+
+The same flow is reachable without code via::
+
+    python -m repro serve-real --scenario bursty --policy all \
+        --max-requests 96 --compare --strict
+
+Run:
+    python examples/serve_real_smoke.py
+"""
+
+import asyncio
+import dataclasses
+import sys
+
+from repro import rng as rng_mod
+from repro.obs.metrics import MetricsRecorder, MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.serve.checkpoint import save_checkpoint
+from repro.serve.cluster import format_fleet_reports, run_fleet_sim
+from repro.serve.simulator import ServeScale, prepare_simulation
+from repro.serving import (
+    Gateway,
+    WorkerPool,
+    build_pool_report,
+    compare_reports,
+    format_verdict,
+    http_request_json,
+    replay_trace,
+)
+from repro.workload import record_trace
+
+SCENARIO = "bursty"
+SEED = 0
+WORKERS = 1        # concentrate load so the policies visibly separate
+POLICIES = ("static", "slo")
+
+# A reduced serve scale keeps the whole example under ~a minute: fewer
+# requests than "smoke", same model shape, same latency oracle search.
+SCALE = ServeScale(
+    name="example-tiny", num_requests=96, image_size=12, num_classes=5,
+    width_mult=0.25, bit_widths=(4, 8, 16), max_batch=8,
+    mapper_generations=2,
+)
+
+
+async def run_real_plane(pool, trace, metrics):
+    """Gateway up -> replay the trace -> scrape /metrics -> drain."""
+    gateway = Gateway(pool, metrics=metrics)
+    await gateway.start()
+    outcome = await replay_trace(
+        trace, gateway.host, gateway.port, pool.time_scale
+    )
+    status, scrape = await http_request_json(
+        gateway.host, gateway.port, "GET", "/metrics"
+    )
+    assert status == 200, f"/metrics returned {status}"
+    await http_request_json(
+        gateway.host, gateway.port, "POST", "/admin/drain"
+    )
+    drained = await gateway.wait_drained(timeout_s=60)
+    await gateway.close()
+    return outcome, scrape["raw"], drained
+
+
+def main() -> int:
+    rng_mod.set_seed(SEED)
+    print("preparing fixture (model + cost-model latency oracle)...")
+    fixture = prepare_simulation(SCENARIO, SCALE)
+    trace = record_trace(fixture, SCENARIO, SEED)
+    checkpoint, _ = save_checkpoint(
+        fixture.sp_net, fixture.config, "runs/serve-real-example/model"
+    )
+
+    metrics = MetricsRegistry()
+    tracer = Tracer(sinks=(MetricsRecorder(metrics),))
+
+    real_reports, last_scrape = [], ""
+    for policy in POLICIES:
+        pool = WorkerPool(
+            checkpoint,
+            policy,
+            fixture.latency_model,
+            bit_widths=fixture.sp_net.bit_widths,
+            workers=WORKERS,
+            max_batch=fixture.scale.max_batch,
+            slo_s=fixture.slo_s,
+            warmup_shape=(3, SCALE.image_size, SCALE.image_size),
+            tracer=tracer.bind(policy=policy),
+        )
+        pool.start()
+        print(f"policy={policy}: {WORKERS} worker(s) ready, "
+              f"time_scale={pool.time_scale:.1f}")
+        try:
+            outcome, last_scrape, drained = asyncio.run(
+                run_real_plane(pool, trace, metrics)
+            )
+        finally:
+            pool.stop()
+        assert drained, "graceful drain timed out"
+        print(f"  replayed {outcome.attempted} requests: "
+              f"{len(outcome.completed)} completed, "
+              f"{outcome.rejected} rejected, {len(outcome.failed)} failed")
+        real_reports.append(
+            build_pool_report(pool, SCENARIO, SCALE.name, fixture.slo_s)
+        )
+
+    # The live exporter must have counted the served traffic.
+    completed_lines = [
+        line for line in last_scrape.splitlines()
+        if line.startswith("repro_requests_completed_total")
+    ]
+    if not completed_lines:
+        print("FAIL: /metrics scrape has no repro_requests_completed_total")
+        return 1
+    print(f"/metrics scrape: {len(completed_lines)} completed-counter "
+          f"series, e.g. {completed_lines[0]}")
+
+    print()
+    print(format_fleet_reports(real_reports))
+
+    # Oracle: the fleet simulator over the identical trace.
+    sim_fixture = dataclasses.replace(
+        fixture, requests=tuple(trace.materialize())
+    )
+    sim_reports = []
+    for policy in POLICIES:
+        sim_reports.extend(run_fleet_sim(
+            scenario=SCENARIO, policy=policy, seed=SEED,
+            replicas=WORKERS, fixture=sim_fixture,
+        ))
+    verdict = compare_reports(sim_reports, real_reports)
+    print()
+    print(format_verdict(verdict))
+    return 0 if verdict["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@ Usage::
     python -m repro run all --scale default
     python -m repro bench --scale smoke
     python -m repro serve-sim --scenario bursty --policy all --scale smoke
+    python -m repro serve-real --scenario bursty --policy all --compare
     python -m repro loadtest --config examples/loadtest_smoke.json --obs
     python -m repro obs runs/loadtest-smoke
     python -m repro pipeline validate --config examples/pipeline_smoke.json
@@ -98,6 +99,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--obs-dir", default=None, metavar="DIR",
         help="record span events + metrics and write the obs/ sidecar "
              "bundle under DIR (inspect with `repro obs DIR`)",
+    )
+
+    from .serving.cli import add_arguments as add_serve_real_arguments
+
+    add_serve_real_arguments(
+        sub.add_parser(
+            "serve-real",
+            help="run the real asyncio gateway + worker-pool plane and "
+                 "validate it against the simulator",
+            description=(
+                "spawn a multi-process serving plane (asyncio HTTP "
+                "gateway in front of N worker processes, each holding "
+                "a resident engine materialised from one shared "
+                "mmap-loaded checkpoint), replay a recorded or "
+                "scenario-generated workload trace through it over "
+                "HTTP on a virtual clock, and emit the same "
+                "FleetReport/obs artifacts the simulator does; "
+                "--compare reruns the discrete-event fleet simulator "
+                "on the identical trace and asserts the real plane "
+                "preserves its policy latency ordering and bit-"
+                "occupancy histograms within tolerance"
+            ),
+        )
     )
 
     loadtest = sub.add_parser(
@@ -457,6 +481,10 @@ def main(argv=None) -> int:
         return run_from_args(args)
     if args.command == "serve-sim":
         return _cmd_serve_sim(args)
+    if args.command == "serve-real":
+        from .serving.cli import run_from_args as run_serve_real
+
+        return run_serve_real(args)
     if args.command == "loadtest":
         return _cmd_loadtest(args)
     if args.command == "obs":

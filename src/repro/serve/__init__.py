@@ -19,8 +19,12 @@ from .checkpoint import (
     MODEL_BUILDERS,
     CheckpointVersionError,
     SPNetConfig,
+    build_engine,
     build_sp_net,
     load_checkpoint,
+    load_state_arrays,
+    make_controller,
+    materialize_engine,
     save_checkpoint,
 )
 from .engine import (
@@ -82,8 +86,12 @@ __all__ = [
     "CheckpointVersionError",
     "MODEL_BUILDERS",
     "SPNetConfig",
+    "build_engine",
     "build_sp_net",
     "load_checkpoint",
+    "load_state_arrays",
+    "make_controller",
+    "materialize_engine",
     "save_checkpoint",
     "BatchRecord",
     "BitLatencyModel",

@@ -28,9 +28,12 @@ block specs), which makes pipeline checkpoints self-contained.
 
 from __future__ import annotations
 
+import io
 import json
 import os
+import struct
 import warnings
+import zipfile
 from dataclasses import asdict, dataclass
 from typing import Dict, Optional, Tuple
 
@@ -49,6 +52,10 @@ __all__ = [
     "build_sp_net",
     "save_checkpoint",
     "load_checkpoint",
+    "load_state_arrays",
+    "make_controller",
+    "build_engine",
+    "materialize_engine",
 ]
 
 CHECKPOINT_SCHEMA_VERSION = 2
@@ -256,10 +263,75 @@ def _check_schema_version(meta: Dict, json_path: str) -> None:
         )
 
 
+def _mmap_state_arrays(npz_path: str) -> Dict[str, np.ndarray]:
+    """Read-only array views memory-mapped at their zip member offsets.
+
+    ``np.savez`` stores members uncompressed (``ZIP_STORED``): each one
+    is a complete ``.npy`` file sitting contiguously inside the archive,
+    so its data can be exposed as an ndarray view over one shared
+    ``np.memmap`` of the whole checkpoint.  N worker processes mapping
+    the same checkpoint then share the weight pages through the OS page
+    cache instead of each materialising a private heap copy of the file.
+    """
+    from numpy.lib import format as npformat
+
+    raw = np.memmap(npz_path, mode="r", dtype=np.uint8)
+    state: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(npz_path) as archive, open(npz_path, "rb") as handle:
+        for info in archive.infolist():
+            if not info.filename.endswith(".npy"):
+                continue
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ValueError(
+                    f"checkpoint member {info.filename!r} is compressed; "
+                    f"mmap loading requires np.savez (stored) checkpoints"
+                )
+            # Local file header: fixed 30 bytes, then name + extra field.
+            handle.seek(info.header_offset)
+            local = handle.read(30)
+            if local[:4] != b"PK\x03\x04":
+                raise ValueError(
+                    f"corrupt zip local header for {info.filename!r} "
+                    f"in {npz_path}"
+                )
+            name_len, extra_len = struct.unpack("<HH", local[26:30])
+            payload_off = info.header_offset + 30 + name_len + extra_len
+            header = io.BytesIO(
+                raw[payload_off:payload_off + 1024].tobytes()
+            )
+            version = npformat.read_magic(header)
+            if version == (1, 0):
+                shape, fortran, dtype = npformat.read_array_header_1_0(header)
+            else:
+                shape, fortran, dtype = npformat.read_array_header_2_0(header)
+            state[info.filename[:-len(".npy")]] = np.ndarray(
+                shape, dtype=dtype, buffer=raw,
+                offset=payload_off + header.tell(),
+                order="F" if fortran else "C",
+            )
+    return state
+
+
+def load_state_arrays(npz_path: str, mmap: bool = False) -> Dict[str, np.ndarray]:
+    """The checkpoint's raw state dict; ``mmap`` shares pages read-only."""
+    if mmap:
+        return _mmap_state_arrays(npz_path)
+    with np.load(npz_path) as arrays:
+        return {name: arrays[name] for name in arrays.files}
+
+
 def load_checkpoint(
-    path: str,
+    path: str, mmap: bool = False
 ) -> Tuple[SwitchablePrecisionNetwork, SPNetConfig]:
-    """Rebuild the model named by ``<base>.json`` and load ``<base>.npz``."""
+    """Rebuild the model named by ``<base>.json`` and load ``<base>.npz``.
+
+    ``mmap=True`` loads the arrays as read-only views mapped directly at
+    their offsets inside the ``.npz`` (see :func:`load_state_arrays`):
+    parameters still copy into the model's own tensors, but the file
+    read itself is shared page cache, so many worker processes
+    bootstrapping from one checkpoint touch each weight page once
+    machine-wide instead of once per process.
+    """
     base = _base_path(path)
     json_path, npz_path = base + ".json", base + ".npz"
     with open(json_path) as handle:
@@ -267,7 +339,90 @@ def load_checkpoint(
     _check_schema_version(meta, json_path)
     config = SPNetConfig.from_json_dict(meta["config"])
     sp_net = build_sp_net(config)
-    with np.load(npz_path) as arrays:
-        state = {name: arrays[name] for name in arrays.files}
-    sp_net.load_state_dict(state)
+    sp_net.load_state_dict(load_state_arrays(npz_path, mmap=mmap))
     return sp_net, config
+
+
+# ----------------------------------------------------------------------
+# Checkpoint -> engine materialization (shared by the simulated fleet
+# and the real-process worker bootstrap)
+# ----------------------------------------------------------------------
+def make_controller(policy: str, slo_s: Optional[float] = None):
+    """Instantiate a precision policy, wiring the SLO where it applies.
+
+    The one place the "``slo`` needs ``slo_s``, everything else takes no
+    arguments" convention lives; previously copied into every engine
+    construction site.
+    """
+    from .policies import make_policy
+
+    if policy == "slo":
+        if slo_s is None:
+            raise ValueError("policy 'slo' requires slo_s")
+        return make_policy(policy, slo_s=slo_s)
+    return make_policy(policy)
+
+
+def build_engine(
+    sp_net: SwitchablePrecisionNetwork,
+    policy: str,
+    latency_model,
+    *,
+    max_batch: int,
+    slo_s: Optional[float] = None,
+    batch_timeout_s: Optional[float] = None,
+    clock=None,
+    stats_window: int = 128,
+    tracer=None,
+):
+    """One engine + controller over an already-materialized network."""
+    from ..obs.tracer import NULL_TRACER
+    from .engine import InferenceEngine
+
+    return InferenceEngine(
+        sp_net,
+        make_controller(policy, slo_s=slo_s),
+        latency_model,
+        max_batch=max_batch,
+        batch_timeout_s=batch_timeout_s,
+        clock=clock,
+        stats_window=stats_window,
+        tracer=NULL_TRACER if tracer is None else tracer,
+    )
+
+
+def materialize_engine(
+    checkpoint: str,
+    policy: str,
+    latency_model,
+    *,
+    max_batch: int,
+    slo_s: Optional[float] = None,
+    batch_timeout_s: Optional[float] = None,
+    clock=None,
+    stats_window: int = 128,
+    tracer=None,
+    mmap: bool = False,
+):
+    """Checkpoint -> private network -> engine, in one shared path.
+
+    Both consumers of "give me a serving engine for this checkpoint"
+    route through here — :func:`repro.serve.cluster.make_fleet`'s
+    registry-backed replica factory and the real-process worker
+    bootstrap (:mod:`repro.serving.worker`) — so a simulated replica and
+    a real worker provably build identical engines from identical
+    bytes.  Each call loads a fresh, independently-owned network (the
+    :meth:`~repro.serve.registry.ModelRegistry.materialize` contract).
+    """
+    sp_net, _ = load_checkpoint(checkpoint, mmap=mmap)
+    return build_engine(
+        sp_net,
+        policy,
+        latency_model,
+        max_batch=max_batch,
+        slo_s=slo_s,
+        batch_timeout_s=batch_timeout_s,
+        clock=clock,
+        stats_window=stats_window,
+        tracer=tracer,
+    )

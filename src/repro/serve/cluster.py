@@ -615,7 +615,7 @@ def make_fleet(
     sharing one works post-statefulness-fix, but private controllers
     keep per-replica SLO feedback independent.
     """
-    from .checkpoint import build_sp_net
+    from .checkpoint import build_sp_net, materialize_engine
     from .simulator import make_engine  # shares the controller wiring
 
     if registry is not None and model_name is None:
@@ -623,10 +623,20 @@ def make_fleet(
 
     def replica_factory(index: int) -> InferenceEngine:
         if registry is not None:
-            sp_net, _ = registry.materialize(model_name)
-        else:
-            sp_net = build_sp_net(fixture.config)
-            sp_net.load_state_dict(fixture.sp_net.state_dict())
+            # The same checkpoint -> engine path real-process workers
+            # bootstrap through (serve/checkpoint.materialize_engine),
+            # so simulated replicas and real workers provably build
+            # identical engines from identical bytes.
+            return materialize_engine(
+                registry.checkpoint_path(model_name),
+                policy,
+                fixture.latency_model,
+                max_batch=fixture.scale.max_batch,
+                slo_s=fixture.slo_s,
+                clock=lambda: 0.0,
+            )
+        sp_net = build_sp_net(fixture.config)
+        sp_net.load_state_dict(fixture.sp_net.state_dict())
         return make_engine(dc_replace(fixture, sp_net=sp_net), policy)
 
     autoscaler = (

@@ -75,18 +75,15 @@ class ModelRegistry:
     def config(self, name: str) -> SPNetConfig:
         return self.get_with_config(name)[1]
 
-    def materialize(
-        self, name: str
-    ) -> Tuple[SwitchablePrecisionNetwork, SPNetConfig]:
-        """A FRESH, independently-owned instance of ``name``.
+    def checkpoint_path(self, name: str) -> str:
+        """The on-disk checkpoint base for ``name``, persisting if needed.
 
-        Unlike :meth:`get` (which shares one cached live instance), every
-        call rebuilds the model from its checkpoint, so fleet replicas
-        each own a private network — per-replica bit-switching and
-        weight-cache state never interfere.  A live-only model (never
-        persisted) is checkpointed first when the registry has a root;
-        without one there is nothing to rematerialise from, so the call
-        fails rather than silently handing out the shared instance.
+        A live-only model (never persisted) is checkpointed first when
+        the registry has a root; without one there is nothing to
+        rematerialise from, so the call fails rather than silently
+        handing out the shared instance.  This is the path both replica
+        materialization (:meth:`materialize`) and real-process worker
+        bootstraps resolve checkpoints through.
         """
         path = self._checkpoint_base(name)
         if path is None and name in self._live:
@@ -102,7 +99,19 @@ class ModelRegistry:
             raise KeyError(
                 f"unknown model {name!r}; registered: {self.names()}"
             )
-        return load_checkpoint(path)
+        return path
+
+    def materialize(
+        self, name: str, mmap: bool = False
+    ) -> Tuple[SwitchablePrecisionNetwork, SPNetConfig]:
+        """A FRESH, independently-owned instance of ``name``.
+
+        Unlike :meth:`get` (which shares one cached live instance), every
+        call rebuilds the model from its checkpoint, so fleet replicas
+        each own a private network — per-replica bit-switching and
+        weight-cache state never interfere.
+        """
+        return load_checkpoint(self.checkpoint_path(name), mmap=mmap)
 
     def evict(self, name: str) -> bool:
         """Drop the live instance (its checkpoint, if any, survives)."""

@@ -461,15 +461,14 @@ def make_engine(
     fixture: SimFixture, policy: str, tracer=NULL_TRACER
 ) -> InferenceEngine:
     """Fresh engine + controller for one policy over a prepared fixture."""
-    controller = (
-        make_policy("slo", slo_s=fixture.slo_s) if policy == "slo"
-        else make_policy(policy)
-    )
-    return InferenceEngine(
+    from .checkpoint import build_engine
+
+    return build_engine(
         fixture.sp_net,
-        controller,
+        policy,
         fixture.latency_model,
         max_batch=fixture.scale.max_batch,
+        slo_s=fixture.slo_s,
         clock=lambda: 0.0,
         tracer=tracer,
     )

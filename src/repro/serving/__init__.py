@@ -1,0 +1,91 @@
+"""Real-process serving plane: gateway, worker pool, replay, compare.
+
+Where :mod:`repro.serve` *simulates* a fleet of switchable-precision
+replicas on a discrete-event clock, this package *runs* one: an asyncio
+HTTP/JSON gateway (:mod:`~repro.serving.gateway`, hand-rolled HTTP/1.1
+in :mod:`~repro.serving.http`) fronts a ``multiprocessing`` pool
+(:mod:`~repro.serving.pool`) whose worker processes
+(:mod:`~repro.serving.worker`) each hold a resident
+:class:`~repro.serve.engine.InferenceEngine` materialised once from a
+shared mmap-loaded checkpoint.  Both planes reuse the same registries
+(routers, precision policies), the same
+:class:`~repro.serve.engine.BitLatencyModel` service-time oracle (paced
+on a virtual clock), and the same tracer event vocabulary — which is
+what makes :mod:`~repro.serving.replay` +
+:mod:`~repro.serving.compare` able to push a recorded workload trace
+through the real plane and assert it tracks the simulator.
+
+Entry point: ``repro serve-real`` (:mod:`~repro.serving.cli`).
+"""
+
+# Submodules resolve lazily (PEP 562) so that `repro serve-real`'s
+# parser — which imports this package for its CLI module — does not pay
+# for numpy / repro.serve until a command actually runs.
+_EXPORTS = {
+    "DEFAULT_OCCUPANCY_TOLERANCE": "compare",
+    "DEFAULT_ORDER_REL_EPS": "compare",
+    "compare_reports": "compare",
+    "format_verdict": "compare",
+    "Gateway": "gateway",
+    "decode_image": "gateway",
+    "encode_image": "gateway",
+    "HTTPConnectionHandler": "http",
+    "HTTPError": "http",
+    "HTTPRequest": "http",
+    "HTTPResponse": "http",
+    "json_response": "http",
+    "PoolSaturated": "pool",
+    "PoolStopped": "pool",
+    "WorkerCrashed": "pool",
+    "WorkerPool": "pool",
+    "build_pool_report": "pool",
+    "ReplayOutcome": "replay",
+    "http_request_json": "replay",
+    "replay_trace": "replay",
+    "VirtualClock": "worker",
+    "WorkerSpec": "worker",
+}
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+__all__ = [
+    "DEFAULT_OCCUPANCY_TOLERANCE",
+    "DEFAULT_ORDER_REL_EPS",
+    "Gateway",
+    "HTTPConnectionHandler",
+    "HTTPError",
+    "HTTPRequest",
+    "HTTPResponse",
+    "PoolSaturated",
+    "PoolStopped",
+    "ReplayOutcome",
+    "VirtualClock",
+    "WorkerCrashed",
+    "WorkerPool",
+    "WorkerSpec",
+    "build_pool_report",
+    "compare_reports",
+    "decode_image",
+    "encode_image",
+    "format_verdict",
+    "http_request_json",
+    "json_response",
+    "replay_trace",
+]

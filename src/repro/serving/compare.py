@@ -1,0 +1,185 @@
+"""Assert the real plane tracks the discrete-event simulator.
+
+The simulator is the repo's oracle: deterministic, cost-model-priced,
+bit-identical across machines.  The real plane shares its service-time
+oracle (workers pace batches to the same
+:class:`~repro.serve.engine.BitLatencyModel` spans on a virtual clock)
+but adds genuine nondeterminism — socket jitter, scheduler preemption,
+dispatch-poll quantisation — so per-request equality is the wrong
+target.  What must survive the crossing, and what this module checks:
+
+* **policy ordering** — wherever the simulator separates two policies
+  on a latency percentile by more than ``order_rel_eps`` (relative),
+  the real plane must rank them the same way.  This is the paper's
+  actual claim: switchable precision beats static precision under
+  pressure, and a deployment preserves that ranking;
+* **bit occupancy** — each policy's per-bit-width request histogram,
+  normalised to fractions, must sit within ``occupancy_tolerance``
+  total-variation-style L1 distance of the simulator's.  The policies
+  decide from queue state, so this bounds how far real queue dynamics
+  drift from simulated ones;
+* **completeness** — the real plane must have served (not dropped) at
+  least ``min_completion`` of the requests the simulator served.
+
+``compare_reports`` consumes either :class:`FleetReport` objects or
+their ``to_json_dict`` form, returns a JSON-friendly verdict dict with
+an overall ``ok`` flag, and never raises on mismatch — callers (the
+CLI's ``--strict`` mode, the CI gate) decide what failure costs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "DEFAULT_OCCUPANCY_TOLERANCE",
+    "DEFAULT_ORDER_REL_EPS",
+    "compare_reports",
+    "format_verdict",
+]
+
+# Calibrated against smoke-scale replays: real-vs-sim occupancy L1
+# distance lands well under 0.25 when the plane is healthy, while a
+# policy serving at the wrong bit-width entirely scores ~2.0.
+DEFAULT_OCCUPANCY_TOLERANCE = 0.35
+DEFAULT_ORDER_REL_EPS = 0.05
+DEFAULT_MIN_COMPLETION = 0.98
+
+PERCENTILE_FIELDS = ("latency_p50_s", "latency_p95_s", "latency_p99_s")
+
+
+def _as_dict(report) -> Dict:
+    return report if isinstance(report, dict) else report.to_json_dict()
+
+
+def _normalized_occupancy(occupancy: Dict[str, int]) -> Dict[str, float]:
+    total = sum(occupancy.values())
+    if not total:
+        return {key: 0.0 for key in occupancy}
+    return {key: count / total for key, count in occupancy.items()}
+
+
+def compare_reports(
+    sim_reports: Sequence,
+    real_reports: Sequence,
+    occupancy_tolerance: float = DEFAULT_OCCUPANCY_TOLERANCE,
+    order_rel_eps: float = DEFAULT_ORDER_REL_EPS,
+    min_completion: float = DEFAULT_MIN_COMPLETION,
+) -> Dict:
+    """Check real-plane reports against same-policy simulator reports.
+
+    Reports are matched by policy name; both sides must cover the same
+    policy set.  Returns a verdict dict — see the module docstring for
+    the three checks.
+    """
+    sims = {_as_dict(r)["policy"]: _as_dict(r) for r in sim_reports}
+    reals = {_as_dict(r)["policy"]: _as_dict(r) for r in real_reports}
+    if set(sims) != set(reals):
+        return {
+            "ok": False,
+            "error": (
+                f"policy sets differ: sim={sorted(sims)} "
+                f"real={sorted(reals)}"
+            ),
+        }
+    policies = sorted(sims)
+
+    completion: Dict[str, Dict] = {}
+    for policy in policies:
+        served_sim = sims[policy]["num_requests"]
+        served_real = reals[policy]["num_requests"]
+        fraction = served_real / served_sim if served_sim else 1.0
+        completion[policy] = {
+            "sim": served_sim,
+            "real": served_real,
+            "fraction": fraction,
+            "ok": fraction >= min_completion,
+        }
+
+    occupancy: Dict[str, Dict] = {}
+    for policy in policies:
+        sim_occ = _normalized_occupancy(sims[policy]["occupancy"])
+        real_occ = _normalized_occupancy(reals[policy]["occupancy"])
+        keys = sorted(set(sim_occ) | set(real_occ))
+        distance = sum(
+            abs(sim_occ.get(k, 0.0) - real_occ.get(k, 0.0)) for k in keys
+        )
+        occupancy[policy] = {
+            "sim": sim_occ,
+            "real": real_occ,
+            "l1_distance": distance,
+            "tolerance": occupancy_tolerance,
+            "ok": distance <= occupancy_tolerance,
+        }
+
+    ordering: Dict[str, Dict] = {}
+    for field in PERCENTILE_FIELDS:
+        checked: List[Dict] = []
+        violations: List[Dict] = []
+        for i, a in enumerate(policies):
+            for b in policies[i + 1:]:
+                sim_a, sim_b = sims[a][field], sims[b][field]
+                hi = max(sim_a, sim_b)
+                if hi <= 0 or abs(sim_a - sim_b) / hi <= order_rel_eps:
+                    continue          # simulator calls it a tie
+                faster, slower = (a, b) if sim_a < sim_b else (b, a)
+                pair = {
+                    "faster": faster,
+                    "slower": slower,
+                    "sim": {a: sim_a, b: sim_b},
+                    "real": {a: reals[a][field], b: reals[b][field]},
+                }
+                checked.append(pair)
+                if not reals[faster][field] < reals[slower][field]:
+                    violations.append(pair)
+        ordering[field] = {
+            "pairs_checked": len(checked),
+            "violations": violations,
+            "ok": not violations,
+        }
+
+    ok = (
+        all(entry["ok"] for entry in completion.values())
+        and all(entry["ok"] for entry in occupancy.values())
+        and all(entry["ok"] for entry in ordering.values())
+    )
+    return {
+        "ok": ok,
+        "policies": policies,
+        "order_rel_eps": order_rel_eps,
+        "completion": completion,
+        "occupancy": occupancy,
+        "ordering": ordering,
+    }
+
+
+def format_verdict(verdict: Dict) -> str:
+    """Human-readable pass/fail summary of a comparison verdict."""
+    if "error" in verdict:
+        return f"sim-vs-real comparison FAILED: {verdict['error']}"
+    lines = [
+        "sim-vs-real comparison: "
+        + ("PASS" if verdict["ok"] else "FAIL")
+    ]
+    for policy in verdict["policies"]:
+        comp = verdict["completion"][policy]
+        occ = verdict["occupancy"][policy]
+        lines.append(
+            f"  {policy:<8} served {comp['real']}/{comp['sim']} "
+            f"[{'ok' if comp['ok'] else 'LOW'}]  "
+            f"occupancy L1 {occ['l1_distance']:.3f} "
+            f"<= {occ['tolerance']:.2f} "
+            f"[{'ok' if occ['ok'] else 'DRIFT'}]"
+        )
+    for field, entry in verdict["ordering"].items():
+        status = "ok" if entry["ok"] else "VIOLATED"
+        lines.append(
+            f"  {field}: {entry['pairs_checked']} sim-separated pair(s), "
+            f"{len(entry['violations'])} violation(s) [{status}]"
+        )
+        for pair in entry["violations"]:
+            lines.append(
+                f"    sim says {pair['faster']} < {pair['slower']}, "
+                f"real disagrees: {pair['real']}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,217 @@
+"""Hand-rolled HTTP/1.1 on asyncio streams (stdlib only).
+
+The real serving plane needs exactly four things from HTTP: parse a
+request line + headers, read a ``Content-Length`` body, write a framed
+response, and keep a connection alive across requests.  A dependency-
+free ~150-line implementation covers that; anything fancier (chunked
+transfer, pipelining, TLS) is out of scope for a loopback gateway whose
+clients are the replay harness and a Prometheus scraper.
+
+Routing is an exact-match table on ``(method, path)`` — query strings
+are split off and handed to the handler parsed.  Handlers are
+coroutines returning an :class:`HTTPResponse`; unhandled exceptions
+become a 500 so one bad request never tears down the listener.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+__all__ = [
+    "HTTPError",
+    "HTTPRequest",
+    "HTTPResponse",
+    "json_response",
+    "read_request",
+    "render_response",
+    "HTTPConnectionHandler",
+]
+
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HTTPError(Exception):
+    """Parse-level failure; the connection is closed after responding."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass(frozen=True)
+class HTTPRequest:
+    """One parsed request: line, headers, query, raw body."""
+
+    method: str
+    path: str
+    query: Dict[str, list]
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self):
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HTTPError(400, f"invalid JSON body: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class HTTPResponse:
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+
+
+def json_response(payload, status: int = 200) -> HTTPResponse:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return HTTPResponse(status=status, body=body)
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[HTTPRequest]:
+    """Parse one request off the stream; None on clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HTTPError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HTTPError(413, "request head too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HTTPError(413, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HTTPError(400, f"malformed request line {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HTTPError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    split = urlsplit(target)
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HTTPError(400, f"bad Content-Length {length_text!r}") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HTTPError(413, f"body of {length} bytes refused")
+    body = await reader.readexactly(length) if length else b""
+    return HTTPRequest(
+        method=method,
+        path=split.path,
+        query=parse_qs(split.query),
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(response: HTTPResponse, keep_alive: bool) -> bytes:
+    """Serialize a framed HTTP/1.1 response."""
+    reason = STATUS_TEXT.get(response.status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {response.status} {reason}",
+        f"Content-Type: {response.content_type}",
+        f"Content-Length: {len(response.body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in response.headers)
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + response.body
+
+
+Handler = Callable[[HTTPRequest], "asyncio.Future"]
+
+
+class HTTPConnectionHandler:
+    """Route table + per-connection loop for ``asyncio.start_server``."""
+
+    def __init__(self):
+        self._routes: Dict[Tuple[str, str], Handler] = {}
+
+    def route(self, method: str, path: str, handler: Handler) -> None:
+        self._routes[(method.upper(), path)] = handler
+
+    async def dispatch(self, request: HTTPRequest) -> HTTPResponse:
+        handler = self._routes.get((request.method, request.path))
+        if handler is None:
+            known_paths = {path for _, path in self._routes}
+            if request.path in known_paths:
+                return json_response(
+                    {"error": f"method {request.method} not allowed"},
+                    status=405,
+                )
+            return json_response(
+                {"error": f"no route for {request.path}"}, status=404
+            )
+        return await handler(request)
+
+    async def __call__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HTTPError as exc:
+                    writer.write(render_response(
+                        json_response({"error": exc.message}, exc.status),
+                        keep_alive=False,
+                    ))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                keep_alive = (
+                    request.headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                try:
+                    response = await self.dispatch(request)
+                except HTTPError as exc:
+                    response = json_response(
+                        {"error": exc.message}, exc.status
+                    )
+                except Exception as exc:  # one bad request != dead server
+                    response = json_response(
+                        {"error": f"internal error: {exc}"}, 500
+                    )
+                writer.write(render_response(response, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass

@@ -1,0 +1,147 @@
+"""Replay a recorded workload trace through the real plane over HTTP.
+
+The closed-loop validator for the serving plane: take a
+:class:`~repro.workload.trace.Trace` (the workload lab's unit of
+reproducibility), walk its
+:meth:`~repro.workload.trace.Trace.to_request_stream` in arrival order,
+sleep each recipe to its wall instant (``arrival_s * time_scale``), and
+POST the regenerated payload to a live gateway.  Every request runs the
+full path — socket, admission control, router, worker queue, real
+switched forward — and the per-request responses carry the virtual-
+clock latency decomposition the comparison harness checks against
+the discrete-event simulator.
+
+The client is open-loop (like the simulator's arrival process): it
+never waits for a response before issuing the next request, so gateway
+backpressure shows up as 429s in the summary rather than as silently
+stretched inter-arrival gaps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .gateway import encode_image
+
+__all__ = ["ReplayOutcome", "replay_trace", "http_request_json"]
+
+
+@dataclass
+class ReplayOutcome:
+    """What came back from one replayed trace."""
+
+    completed: List[Dict] = field(default_factory=list)
+    rejected: int = 0                  # 429: admission control refused
+    failed: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def attempted(self) -> int:
+        return len(self.completed) + self.rejected + len(self.failed)
+
+
+async def http_request_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[Dict] = None,
+    timeout_s: float = 60.0,
+) -> Tuple[int, Dict]:
+    """One HTTP exchange on a fresh connection; returns (status, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = (
+            json.dumps(payload).encode("utf-8")
+            if payload is not None else b""
+        )
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=timeout_s)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    head_bytes, _, body_bytes = raw.partition(b"\r\n\r\n")
+    status_line = head_bytes.split(b"\r\n", 1)[0].decode("latin-1")
+    status = int(status_line.split(" ")[1])
+    parsed: Dict = {}
+    if body_bytes:
+        try:
+            parsed = json.loads(body_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            parsed = {"raw": body_bytes.decode("latin-1")}
+    return status, parsed
+
+
+async def replay_trace(
+    trace,
+    host: str,
+    port: int,
+    time_scale: float,
+    max_requests: Optional[int] = None,
+    lead_in_s: float = 0.05,
+    request_timeout_s: float = 120.0,
+) -> ReplayOutcome:
+    """Push ``trace`` through the gateway on its recorded schedule.
+
+    ``time_scale`` must match the serving pool's so inter-arrival gaps
+    stretch by exactly the factor service times do — the arrival
+    *pattern* relative to capacity is then identical to the simulator's.
+    The absolute clock offset between client and server is irrelevant:
+    the server stamps arrivals on its own virtual clock, and reports
+    normalise to the first arrival.
+    """
+    payloads = {r.request_id: r for r in trace.materialize()}
+    outcome = ReplayOutcome()
+    tasks: List[asyncio.Task] = []
+    loop = asyncio.get_running_loop()
+    start = loop.time() + lead_in_s
+    issued = 0
+
+    async def send(recipe) -> None:
+        request = payloads[recipe.request_id]
+        body = encode_image(request.image)
+        body["request_id"] = request.request_id
+        if request.label is not None:
+            body["label"] = int(request.label)
+        try:
+            status, response = await http_request_json(
+                host, port, "POST", "/infer", body,
+                timeout_s=request_timeout_s,
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            outcome.failed.append((recipe.request_id, repr(exc)))
+            return
+        if status == 200:
+            outcome.completed.append(response)
+        elif status == 429:
+            outcome.rejected += 1
+        else:
+            outcome.failed.append(
+                (recipe.request_id, f"HTTP {status}: {response}")
+            )
+
+    for recipe in trace.to_request_stream():
+        if max_requests is not None and issued >= max_requests:
+            break
+        target = start + recipe.arrival_s * time_scale
+        delay = target - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.create_task(send(recipe)))
+        issued += 1
+    if tasks:
+        await asyncio.gather(*tasks)
+    return outcome

@@ -1,0 +1,246 @@
+"""Worker process: a resident engine paced on the shared virtual clock.
+
+Each worker is one OS process holding one
+:class:`~repro.serve.engine.InferenceEngine` materialized from the
+shared checkpoint via
+:func:`repro.serve.checkpoint.materialize_engine` — the *same* path the
+simulated fleet's replica factory uses, with ``mmap=True`` so N workers
+share the checkpoint's weight pages through the OS page cache instead
+of each reading a private copy.
+
+**Virtual clock.**  The simulator charges every micro-batch the
+AutoMapper-priced service time on a virtual clock.  The real plane
+keeps that oracle: all workers and the parent share one epoch on
+``time.monotonic()`` (CLOCK_MONOTONIC is system-wide on Linux) and a
+``time_scale`` factor, so virtual time is
+``(monotonic() - epoch) / time_scale``.  A worker dispatches a batch —
+running the REAL switched forward pass — then sleeps until the batch's
+cost-model ``finish_s`` maps back to wall time.  Queueing dynamics
+(batch coalescing, timeout releases, policy decisions on real queue
+depths) therefore track the simulator's, while wall-clock noise of
+δ seconds shrinks to δ/time_scale virtual seconds.  The one hard
+constraint — a real forward must fit inside its own virtual service
+window — is enforced at startup: each worker measures its slowest
+full-batch forward during warmup and reports it, and the pool picks a
+``time_scale`` with margin (see ``WorkerPool._auto_time_scale``).
+
+**Protocol** (multiprocessing queues; parent -> worker on ``inbox``,
+worker -> parent on the shared ``outbox``):
+
+========================  =============================================
+``("req", request)``      submit one InferenceRequest to the engine
+``("drain",)``            flush the queue, then report drained and exit
+``("stop",)``             exit now (queued requests are abandoned)
+``("ready", i, fwd_s)``   worker warmed up; slowest forward took fwd_s
+``("start", epoch, ts)``  parent reply: virtual clock parameters
+``("batch", i, rec, ...)``  one dispatched BatchRecord + tracer events
+``("drained", i, ev)``    queue empty after drain; final events
+``("stopped", i)``        worker exiting on stop
+``("error", i, tb)``      unhandled exception (worker exits after)
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["WorkerSpec", "VirtualClock", "worker_main"]
+
+# Wall seconds between inbox polls while idle / waiting out a pacing
+# sleep.  Bounds how late an arrival can be admitted into the engine's
+# FIFO relative to its parent-stamped virtual arrival time.
+POLL_S = 0.005
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to build its engine (picklable)."""
+
+    index: int
+    checkpoint: str                  # base path of the shared checkpoint
+    policy: str
+    latency_model: object            # BitLatencyModel (plain-dict state)
+    max_batch: int
+    slo_s: Optional[float] = None
+    batch_timeout_s: Optional[float] = None
+    stats_window: int = 128
+    mmap: bool = True
+    warmup_shape: Tuple[int, int, int] = (3, 12, 12)   # (C, H, W)
+
+
+class VirtualClock:
+    """Shared-epoch virtual clock: ``(monotonic() - epoch) / scale``."""
+
+    __slots__ = ("epoch", "time_scale")
+
+    def __init__(self, epoch: float = 0.0, time_scale: float = 1.0):
+        self.configure(epoch, time_scale)
+
+    def configure(self, epoch: float, time_scale: float) -> None:
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be > 0, got {time_scale!r}")
+        self.epoch = float(epoch)
+        self.time_scale = float(time_scale)
+
+    def __call__(self) -> float:
+        return (time.monotonic() - self.epoch) / self.time_scale
+
+    def wall_deadline(self, virtual_s: float) -> float:
+        """The ``time.monotonic()`` instant mapping to ``virtual_s``."""
+        return self.epoch + virtual_s * self.time_scale
+
+
+def _measure_forward_s(engine, shape: Tuple[int, int, int]) -> float:
+    """Warm every bit-width's quant caches; return the slowest
+    full-batch forward wall time (the pacing constraint's numerator)."""
+    from repro.serve.engine import InferenceRequest
+
+    worst = 0.0
+    batch = [
+        InferenceRequest(
+            request_id=-1 - i,
+            arrival_s=0.0,
+            image=np.zeros(shape, dtype=np.float32),
+        )
+        for i in range(engine.max_batch)
+    ]
+    for bits in engine.sp_net.bit_widths:
+        begin = time.monotonic()
+        engine._forward(batch, bits)
+        worst = max(worst, time.monotonic() - begin)
+    return worst
+
+
+def worker_main(spec: WorkerSpec, inbox, outbox) -> None:
+    """Process entry point: materialize, warm up, serve until stopped."""
+    try:
+        _serve(spec, inbox, outbox)
+    except Exception:
+        outbox.put(("error", spec.index, traceback.format_exc()))
+
+
+def _serve(spec: WorkerSpec, inbox, outbox) -> None:
+    from repro.obs.tracer import Tracer
+    from repro.serve.checkpoint import materialize_engine
+
+    tracer = Tracer()
+    clock = VirtualClock()
+    engine = materialize_engine(
+        spec.checkpoint,
+        spec.policy,
+        spec.latency_model,
+        max_batch=spec.max_batch,
+        slo_s=spec.slo_s,
+        batch_timeout_s=spec.batch_timeout_s,
+        clock=clock,
+        stats_window=spec.stats_window,
+        tracer=tracer.bind(replica=spec.index),
+        mmap=spec.mmap,
+    )
+    engine.replica_index = spec.index
+    fwd_s = _measure_forward_s(engine, spec.warmup_shape)
+    outbox.put(("ready", spec.index, fwd_s))
+
+    # Wait (indefinitely) for the clock broadcast; the parent sends it
+    # once every worker has reported ready.
+    while True:
+        message = inbox.get()
+        if message[0] == "start":
+            clock.configure(message[1], message[2])
+            break
+        if message[0] == "stop":
+            outbox.put(("stopped", spec.index))
+            return
+
+    shipped = 0            # tracer events already sent to the parent
+    draining = False
+
+    def pending_events():
+        nonlocal shipped
+        fresh = tracer.events[shipped:]
+        shipped = len(tracer.events)
+        return fresh
+
+    def handle(message) -> Optional[str]:
+        nonlocal draining
+        kind = message[0]
+        if kind == "req":
+            engine.submit(message[1])
+            return None
+        if kind == "drain":
+            draining = True
+            return None
+        return kind          # "stop"
+
+    def pull(timeout: float) -> Optional[str]:
+        try:
+            message = inbox.get(timeout=timeout) if timeout > 0 \
+                else inbox.get_nowait()
+        except queue_mod.Empty:
+            return None
+        return handle(message)
+
+    def pace_until(virtual_s: float) -> Optional[str]:
+        """Sleep to the wall instant of ``virtual_s``, admitting
+        arrivals the whole way (they queue behind the in-flight batch,
+        exactly like the simulator's mid-service arrivals)."""
+        deadline = clock.wall_deadline(virtual_s)
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            verdict = pull(min(remaining, POLL_S))
+            if verdict is not None:
+                return verdict
+
+    while True:
+        # Admit everything already queued on the inbox before deciding
+        # whether a batch releases.
+        while True:
+            verdict = pull(0.0)
+            if verdict == "stop":
+                outbox.put(("stopped", spec.index))
+                return
+            if verdict is None:
+                break
+
+        record = engine.dispatch(clock(), flush=draining)
+        if record is not None:
+            outbox.put((
+                "batch",
+                spec.index,
+                record,
+                pending_events(),
+                engine.queue_depth,
+            ))
+            # The real forward already ran inside dispatch(); burn the
+            # remainder of the batch's cost-model service window so the
+            # engine is not free before its virtual finish time.
+            verdict = pace_until(record.finish_s)
+            if verdict == "stop":
+                outbox.put(("stopped", spec.index))
+                return
+            continue
+
+        if draining and engine.queue_depth == 0:
+            outbox.put(("drained", spec.index, pending_events()))
+            return
+
+        # Nothing released: wait for the next arrival or the oldest
+        # request's timeout expiry, whichever is sooner.
+        release_s = engine.next_release_s()
+        if release_s is None:
+            timeout = POLL_S * 10
+        else:
+            wall_wait = clock.wall_deadline(release_s) - time.monotonic()
+            timeout = min(max(wall_wait, 0.0), POLL_S)
+        verdict = pull(timeout)
+        if verdict == "stop":
+            outbox.put(("stopped", spec.index))
+            return

@@ -32,6 +32,7 @@ from .scenarios import (
     sawtooth_gaps,
 )
 from .trace import (
+    RequestRecipe,
     Trace,
     TraceEvent,
     TraceSource,
@@ -57,6 +58,7 @@ __all__ = [
     "pareto_heavy_tail_gaps",
     "ramp_gaps",
     "sawtooth_gaps",
+    "RequestRecipe",
     "Trace",
     "TraceEvent",
     "TraceSource",

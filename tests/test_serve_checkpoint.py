@@ -10,6 +10,9 @@ from repro.serve import (
     SPNetConfig,
     build_sp_net,
     load_checkpoint,
+    load_state_arrays,
+    make_controller,
+    materialize_engine,
     save_checkpoint,
 )
 from repro.tensor import Tensor, no_grad
@@ -201,3 +204,77 @@ class TestModelRegistry:
         after = outputs_at_every_bit(reloaded, x)
         for bits in sp_net.bit_widths:
             np.testing.assert_array_equal(before[bits], after[bits])
+
+
+class TestMmapLoading:
+    """mmap=True must be a pure read-path optimisation: same arrays."""
+
+    def test_mmap_arrays_equal_eager_arrays(self, tmp_path):
+        npz_path, _ = _saved_checkpoint(tmp_path)
+        eager = load_state_arrays(npz_path)
+        mapped = load_state_arrays(npz_path, mmap=True)
+        assert set(eager) == set(mapped)
+        for name in eager:
+            assert eager[name].dtype == mapped[name].dtype
+            np.testing.assert_array_equal(eager[name], mapped[name])
+
+    def test_mmap_views_are_read_only(self, tmp_path):
+        npz_path, _ = _saved_checkpoint(tmp_path)
+        mapped = load_state_arrays(npz_path, mmap=True)
+        array = next(iter(mapped.values()))
+        assert not array.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            array[...] = 0
+
+    def test_mmap_checkpoint_rebuilds_bit_for_bit(self, tmp_path):
+        cfg = small_config()
+        sp_net = build_sp_net(cfg)
+        x = np.random.default_rng(2).normal(size=(2, 3, 8, 8)).astype(
+            np.float32
+        )
+        before = outputs_at_every_bit(sp_net, x)
+        save_checkpoint(sp_net, cfg, str(tmp_path / "m"))
+        loaded, _ = load_checkpoint(str(tmp_path / "m"), mmap=True)
+        after = outputs_at_every_bit(loaded, x)
+        for bits in sp_net.bit_widths:
+            np.testing.assert_array_equal(before[bits], after[bits])
+
+
+class TestMaterializeEngine:
+    """checkpoint -> engine: the path shared by sim fleet and workers."""
+
+    def _latency_model(self):
+        from repro.serve.engine import BitLatencyModel
+
+        return BitLatencyModel(
+            {4: 0.001, 8: 0.002, 16: 0.004}, batch_overhead_s=0.004
+        )
+
+    def test_engine_serves_checkpointed_weights(self, tmp_path):
+        cfg = small_config()
+        sp_net = build_sp_net(cfg)
+        x = np.random.default_rng(3).normal(size=(1, 3, 8, 8)).astype(
+            np.float32
+        )
+        expected = outputs_at_every_bit(sp_net, x)
+        npz_path, _ = save_checkpoint(sp_net, cfg, str(tmp_path / "m"))
+        engine = materialize_engine(
+            npz_path, "static", self._latency_model(),
+            max_batch=4, mmap=True,
+        )
+        got = outputs_at_every_bit(engine.sp_net, x)
+        for bits in sp_net.bit_widths:
+            np.testing.assert_array_equal(expected[bits], got[bits])
+
+    def test_materialize_wires_policy_and_knobs(self, tmp_path):
+        npz_path, _ = _saved_checkpoint(tmp_path)
+        engine = materialize_engine(
+            npz_path, "slo", self._latency_model(),
+            max_batch=4, slo_s=0.05, batch_timeout_s=0.01,
+        )
+        assert engine.max_batch == 4
+        assert engine.batch_timeout_s == 0.01
+
+    def test_slo_policy_requires_slo_s(self):
+        with pytest.raises(ValueError, match="slo"):
+            make_controller("slo")

@@ -38,7 +38,12 @@ from repro.workload.loadtest import (
     render_markdown,
     write_loadtest_artifacts,
 )
-from repro.workload.trace import Trace, TraceEvent, TraceSource
+from repro.workload.trace import (
+    RequestRecipe,
+    Trace,
+    TraceEvent,
+    TraceSource,
+)
 
 TINY = ServeScale(
     name="workload-tiny", num_requests=64, image_size=8, num_classes=3,
@@ -184,6 +189,57 @@ class TestTrace:
         )
         with pytest.raises(ValueError, match="outside source size"):
             bad.materialize()
+
+
+class TestRequestStream:
+    """to_request_stream: the payload-free replay view (serve-real)."""
+
+    def test_stream_is_arrival_ordered_and_complete(self, fixture):
+        trace = record_trace(fixture, "bursty", 7)
+        recipes = list(trace.to_request_stream())
+        assert len(recipes) == len(trace)
+        arrivals = [r.arrival_s for r in recipes]
+        assert arrivals == sorted(arrivals)
+        assert {r.request_id for r in recipes} == \
+            {e.request_id for e in trace.events}
+
+    def test_round_trip_rebuilds_the_trace(self, fixture):
+        trace = record_trace(fixture, "bursty", 7)
+        again = Trace.from_request_stream(
+            trace.name, trace.sources, trace.to_request_stream(),
+            meta=trace.meta,
+        )
+        assert again == trace
+
+    def test_round_trip_materializes_bit_identically(self, fixture):
+        trace = record_trace(fixture, "bursty", 7)
+        again = Trace.from_request_stream(
+            "rebuilt", trace.sources, trace.to_request_stream()
+        )
+        for orig, replayed in zip(trace.materialize(), again.materialize()):
+            assert orig.request_id == replayed.request_id
+            np.testing.assert_array_equal(orig.image, replayed.image)
+
+    def test_recipe_json_round_trip(self):
+        recipe = RequestRecipe(
+            request_id=3, arrival_s=0.25, label=None, source=0,
+            data_index=17,
+        )
+        assert RequestRecipe.from_json_dict(
+            json.loads(json.dumps(recipe.to_json_dict()))
+        ) == recipe
+
+    def test_stream_validates_source_references(self):
+        source = TraceSource(
+            name="serve", num_classes=3, image_size=8, difficulty=2.0,
+            split="traffic-x", size=4, seed=0,
+        )
+        bad = Trace(
+            name="bad", sources=(source,),
+            events=(TraceEvent(0, 0.0, 1, source=0, data_index=99),),
+        )
+        with pytest.raises(ValueError, match="outside source size"):
+            list(bad.to_request_stream())
 
 
 class TestTraceTransforms:
