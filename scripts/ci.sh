@@ -13,6 +13,43 @@ REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$REPO_ROOT"
 export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "==> static analysis (repro check vs committed findings baseline)"
+python -m repro check --fail-on error --baseline scripts/check_baseline.json
+git diff --quiet -- scripts/check_baseline.json \
+    || { echo "scripts/check_baseline.json has uncommitted edits;" \
+         "baseline updates must land as their own commit"; exit 1; }
+python - <<'PY'
+# The baseline may only grow in an explicit baseline-update commit (one
+# that touches nothing but the baseline file); silent growth inside a
+# code commit defeats the gate.
+import json
+import subprocess
+import sys
+
+
+def entries(ref):
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:scripts/check_baseline.json"],
+        capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    return len(json.loads(proc.stdout).get("findings", []))
+
+
+head, prev = entries("HEAD"), entries("HEAD~1")
+if head is None or prev is None or head <= prev:
+    sys.exit(0)
+touched = subprocess.run(
+    ["git", "diff", "--name-only", "HEAD~1", "HEAD"],
+    capture_output=True, text=True, check=True,
+).stdout.split()
+if touched != ["scripts/check_baseline.json"]:
+    print(f"findings baseline grew {prev} -> {head} entries inside a "
+          f"code commit; grow it only via a baseline-only commit")
+    sys.exit(1)
+PY
+
 echo "==> tier-1 pytest"
 python -m pytest -x -q
 

@@ -10,6 +10,7 @@ Usage::
     python -m repro serve-real --scenario bursty --policy all --compare
     python -m repro loadtest --config examples/loadtest_smoke.json --obs
     python -m repro obs runs/loadtest-smoke
+    python -m repro check --fail-on error --json
     python -m repro pipeline validate --config examples/pipeline_smoke.json
     python -m repro pipeline run --config examples/pipeline_smoke.json
 
@@ -120,6 +121,27 @@ def _build_parser() -> argparse.ArgumentParser:
                 "on the identical trace and asserts the real plane "
                 "preserves its policy latency ordering and bit-"
                 "occupancy histograms within tolerance"
+            ),
+        )
+    )
+
+    from .analysis.cli import add_arguments as add_check_arguments
+
+    add_check_arguments(
+        sub.add_parser(
+            "check",
+            help="run the static invariant analyzer over the repro tree",
+            description=(
+                "parse the package once and verify the machine-checked "
+                "repo contracts: deterministic planes never read wall "
+                "clocks or unseeded RNGs, the lazy registry manifest "
+                "resolves statically and matches the decorator "
+                "registrations, the import graph respects the plane "
+                "layering with no cycles, nothing unpicklable crosses "
+                "the multiprocessing spawn boundary, and the tracer "
+                "span vocabulary matches what the obs consumers render; "
+                "exits nonzero when findings at or above --fail-on "
+                "survive inline suppressions and the committed baseline"
             ),
         )
     )
@@ -485,6 +507,10 @@ def main(argv=None) -> int:
         from .serving.cli import run_from_args as run_serve_real
 
         return run_serve_real(args)
+    if args.command == "check":
+        from .analysis.cli import run_from_args as run_check_cli
+
+        return run_check_cli(args)
     if args.command == "loadtest":
         return _cmd_loadtest(args)
     if args.command == "obs":

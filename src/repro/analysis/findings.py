@@ -1,0 +1,153 @@
+"""Findings and inline suppressions for the static analyzer.
+
+A :class:`Finding` anchors one rule violation to a ``path:line`` in the
+analyzed tree.  Paths are stored relative to the *parent* of the
+analyzed package root (``repro/serve/simulator.py`` when analyzing
+``src/repro``), so the same violation produces the same finding whether
+the tree lives in ``src/`` or in a temp-dir copy under test — and so
+the committed baseline file stays stable across checkouts.
+
+Inline suppressions bless an intentional violation next to the code::
+
+    start = wall()  # repro: allow[determinism] wall-seconds telemetry
+
+The marker is ``# repro: allow[rule-id]`` (comma-separate several rule
+ids to bless more than one); everything after the bracket is a free-form
+reason.  A suppression applies to findings on its own line, or — when
+the whole line is just the comment — to the line below it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, List, Tuple
+
+__all__ = [
+    "SEVERITIES",
+    "Finding",
+    "Suppression",
+    "parse_suppressions",
+    "severity_at_least",
+]
+
+# Ordered weakest -> strongest; --fail-on thresholds index into this.
+SEVERITIES = ("warning", "error")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[A-Za-z0-9_,\- ]+)\]\s*(?P<reason>.*)$"
+)
+
+
+def severity_at_least(severity: str, threshold: str) -> bool:
+    """True when ``severity`` is at or above ``threshold``."""
+    return SEVERITIES.index(severity) >= SEVERITIES.index(threshold)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro: allow[...]`` comment."""
+
+    line: int
+    rules: FrozenSet[str]
+    reason: str = ""
+    comment_only: bool = False   # the line holds nothing but the comment
+
+    def covers(self, rule: str, line: int) -> bool:
+        if rule not in self.rules:
+            return False
+        if line == self.line:
+            return True
+        # A standalone comment line blesses the statement below it.
+        return self.comment_only and line == self.line + 1
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Extract every suppression comment from a module's source."""
+    suppressions: List[Suppression] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        rules = frozenset(
+            token.strip()
+            for token in match.group("rules").split(",")
+            if token.strip()
+        )
+        before = text[: match.start()].strip()
+        suppressions.append(Suppression(
+            line=lineno,
+            rules=rules,
+            reason=match.group("reason").strip(),
+            comment_only=not before,
+        ))
+    return suppressions
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at ``path:line``.
+
+    ``suppressed`` and ``baselined`` findings are still reported (the
+    JSON output keeps the whole picture) but do not fail the gate.
+    """
+
+    path: str
+    line: int
+    rule: str
+    severity: str
+    message: str
+    suppressed: bool = False
+    baselined: bool = False
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got "
+                f"{self.severity!r}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Counts toward the exit code."""
+        return not (self.suppressed or self.baselined)
+
+    @property
+    def anchor(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    # A baseline entry matches on everything that identifies the
+    # violation; flags are derived, not identity.
+    def key(self) -> Tuple[str, int, str, str]:
+        return (self.path, self.line, self.rule, self.message)
+
+    def with_flags(self, *, suppressed=None, baselined=None) -> "Finding":
+        updates: Dict[str, bool] = {}
+        if suppressed is not None:
+            updates["suppressed"] = suppressed
+        if baselined is not None:
+            updates["baselined"] = baselined
+        return replace(self, **updates)
+
+    def to_json_dict(self) -> Dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict) -> "Finding":
+        return cls(
+            path=payload["path"],
+            line=int(payload["line"]),
+            rule=payload["rule"],
+            severity=payload["severity"],
+            message=payload["message"],
+            suppressed=bool(payload.get("suppressed", False)),
+            baselined=bool(payload.get("baselined", False)),
+        )

@@ -1,0 +1,382 @@
+"""Rule ``registries``: the lazy manifest and the code stay in lockstep.
+
+``repro.api.registry`` declares every built-in component as an
+import-free ``"module:attr"`` string; the defining modules then claim
+those names with ``@REGISTRY.register("name")`` decorators at import
+time.  Nothing ties the two together until something actually resolves
+the entry — a typo'd pointer or a decorator for a name the manifest
+never declared surfaces only at runtime, in whichever command happens
+to touch it.  This rule closes that gap statically:
+
+* every ``register_lazy`` call must pass **literal strings** (loops
+  and f-strings hide entries from static verification — and from
+  ``grep``);
+* every lazy ``module:attr`` pointer must resolve against the parsed
+  tree: the module exists, the attribute is bound at its top level
+  (PEP 562 ``__getattr__`` modules are trusted), and a keyed entry's
+  key appears in the target dict literal;
+* every ``Registry(...)`` instance must be listed in the
+  ``REGISTRIES`` catalogue (a family missing there is invisible to the
+  manifest, the CLI, and the lockstep tests);
+* every decorator registration elsewhere in the tree must claim a
+  declared lazy name whose pointer leads into the defining module —
+  the exact condition ``Registry._is_lazy_claim`` enforces at runtime;
+* CLI modules must not hardcode registry entry names in ``choices=``
+  lists — choices flow from ``repro.api.manifest`` so new components
+  appear automatically.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .checker import Checker
+from .findings import Finding
+from .model import ModuleInfo, ProjectModel, resolve_dotted
+
+__all__ = ["RegistryParityChecker"]
+
+DEFAULT_CLI_MODULES = ("__main__", "serving.cli", "analysis.cli")
+
+# CLI vocabulary that legitimately overlaps nothing today but is listed
+# for clarity: literals in ``choices=`` are flagged only when they
+# collide with a *declared registry entry name*, so plain argparse
+# enums ("text", "json", "warning", "error") never trip the rule.
+
+
+@dataclass
+class LazyDecl:
+    """One ``register_lazy`` call statically extracted."""
+
+    registry_var: str
+    name: str
+    spec: str
+    key: Optional[str]
+    line: int
+
+    @property
+    def spec_module(self) -> str:
+        return self.spec.partition(":")[0]
+
+    @property
+    def spec_attr(self) -> str:
+        return self.spec.partition(":")[2]
+
+
+class RegistryParityChecker(Checker):
+    rule = "registries"
+    severity = "error"
+    description = (
+        "lazy manifest pointers resolve statically, decorators claim "
+        "declared names, CLI choices derive from registries"
+    )
+
+    def __init__(self, cli_modules: Sequence[str] = DEFAULT_CLI_MODULES):
+        self.cli_modules = tuple(cli_modules)
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        pkg = project.package
+        registry_module = project.get(f"{pkg}.api.registry")
+        if registry_module is None:
+            return
+        registry_vars = _registry_vars(registry_module)
+        declared, extraction_errors = _lazy_decls(
+            registry_module, registry_vars
+        )
+        for line, message in extraction_errors:
+            yield self.finding(registry_module, line, message)
+
+        yield from self._check_registries_catalogue(
+            registry_module, registry_vars
+        )
+        yield from self._check_specs(project, registry_module, declared)
+        yield from self._check_decorators(project, declared)
+        yield from self._check_cli_literals(project, declared)
+
+    # -- REGISTRIES catalogue ------------------------------------------
+    def _check_registries_catalogue(
+        self, registry_module: ModuleInfo, registry_vars: Dict[str, int]
+    ) -> Iterator[Finding]:
+        catalogued: Set[str] = set()
+        for node in registry_module.tree.body:
+            value = None
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "REGISTRIES"
+                for t in targets
+            ):
+                continue
+            if isinstance(value, ast.Dict):
+                for v in value.values:
+                    if isinstance(v, ast.Name):
+                        catalogued.add(v.id)
+        for var, line in sorted(registry_vars.items()):
+            if var not in catalogued:
+                yield self.finding(
+                    registry_module, line,
+                    f"registry {var} is not listed in the REGISTRIES "
+                    f"catalogue; the manifest and CLI cannot see it",
+                )
+
+    # -- lazy spec resolution ------------------------------------------
+    def _check_specs(
+        self,
+        project: ProjectModel,
+        registry_module: ModuleInfo,
+        declared: List[LazyDecl],
+    ) -> Iterator[Finding]:
+        for decl in declared:
+            if not project.owns(decl.spec_module):
+                continue
+            target = project.get(decl.spec_module)
+            if target is None:
+                yield self.finding(
+                    registry_module, decl.line,
+                    f"lazy entry {decl.name!r} points at missing module "
+                    f"{decl.spec_module}",
+                )
+                continue
+            if not project.resolves_attr(decl.spec_module, decl.spec_attr):
+                yield self.finding(
+                    registry_module, decl.line,
+                    f"lazy entry {decl.name!r} points at "
+                    f"{decl.spec}, but {decl.spec_module} binds no "
+                    f"top-level {decl.spec_attr!r}",
+                )
+                continue
+            if decl.key is not None:
+                keys = _dict_literal_keys(target, decl.spec_attr)
+                if keys is not None and decl.key not in keys:
+                    yield self.finding(
+                        registry_module, decl.line,
+                        f"lazy entry {decl.name!r} keys {decl.spec} with "
+                        f"{decl.key!r}, which the dict literal does not "
+                        f"define",
+                    )
+
+    # -- decorator registrations ---------------------------------------
+    def _check_decorators(
+        self, project: ProjectModel, declared: List[LazyDecl]
+    ) -> Iterator[Finding]:
+        pkg = project.package
+        prefix = f"{pkg}.api.registry."
+        by_registry: Dict[str, Dict[str, LazyDecl]] = {}
+        for decl in declared:
+            by_registry.setdefault(decl.registry_var, {})[decl.name] = decl
+
+        for module in project:
+            if module.name == f"{pkg}.api.registry":
+                continue
+            for deco, owner in _register_decorators(module, prefix):
+                var = deco.registry_var
+                if deco.name is None:
+                    yield self.finding(
+                        module, deco.line,
+                        f"@{var}.register(...) name must be a string "
+                        f"literal for static manifest parity",
+                    )
+                    continue
+                decl = by_registry.get(var, {}).get(deco.name)
+                if decl is None:
+                    yield self.finding(
+                        module, deco.line,
+                        f"@{var}.register({deco.name!r}) has no matching "
+                        f"register_lazy declaration in the manifest",
+                    )
+                    continue
+                spec_module = decl.spec_module
+                if not (
+                    module.name == spec_module
+                    or module.name.startswith(spec_module + ".")
+                ):
+                    yield self.finding(
+                        module, deco.line,
+                        f"@{var}.register({deco.name!r}) in {module.name} "
+                        f"cannot claim the lazy pointer into "
+                        f"{spec_module} (would raise RegistryError at "
+                        f"import time)",
+                    )
+
+    # -- CLI literal choices -------------------------------------------
+    def _check_cli_literals(
+        self, project: ProjectModel, declared: List[LazyDecl]
+    ) -> Iterator[Finding]:
+        pkg = project.package
+        entry_names = {decl.name for decl in declared}
+        for suffix in self.cli_modules:
+            module = project.get(f"{pkg}.{suffix}")
+            if module is None:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                for keyword in node.keywords:
+                    if keyword.arg != "choices":
+                        continue
+                    hardcoded = sorted(
+                        leaf.value
+                        for leaf in ast.walk(keyword.value)
+                        if isinstance(leaf, ast.Constant)
+                        and isinstance(leaf.value, str)
+                        and leaf.value in entry_names
+                    )
+                    if hardcoded:
+                        yield self.finding(
+                            module, keyword.value.lineno,
+                            f"CLI choices hardcode registry entry "
+                            f"name(s) {hardcoded}; derive them from "
+                            f"repro.api.manifest so new registrations "
+                            f"appear automatically",
+                        )
+
+
+# ----------------------------------------------------------------------
+# Static extraction helpers
+# ----------------------------------------------------------------------
+
+def _registry_vars(registry_module: ModuleInfo) -> Dict[str, int]:
+    """Top-level ``VAR = Registry(...)`` assignments -> line numbers."""
+    out: Dict[str, int] = {}
+    for node in registry_module.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        call = node.value
+        if not (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Name)
+            and call.func.id == "Registry"
+        ):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                out[target.id] = node.lineno
+    return out
+
+
+def _lazy_decls(
+    registry_module: ModuleInfo, registry_vars: Dict[str, int]
+) -> Tuple[List[LazyDecl], List[Tuple[int, str]]]:
+    """Every ``VAR.register_lazy(...)`` call; non-literal args are
+    extraction errors (the manifest must be greppable)."""
+    decls: List[LazyDecl] = []
+    errors: List[Tuple[int, str]] = []
+    for node in ast.walk(registry_module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr == "register_lazy"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in registry_vars
+        ):
+            continue
+        var = func.value.id
+        args = list(node.args)
+        kwargs = {k.arg: k.value for k in node.keywords}
+        name_node = args[0] if args else kwargs.get("name")
+        spec_node = args[1] if len(args) > 1 else kwargs.get("spec")
+        key_node = args[2] if len(args) > 2 else kwargs.get("key")
+        name = _literal_str(name_node)
+        spec = _literal_str(spec_node)
+        if name is None or spec is None:
+            errors.append((
+                node.lineno,
+                f"{var}.register_lazy(...) arguments must be string "
+                f"literals (no loops or f-strings) so the manifest is "
+                f"statically verifiable",
+            ))
+            continue
+        key = _literal_str(key_node)
+        if key_node is not None and key is None:
+            errors.append((
+                node.lineno,
+                f"{var}.register_lazy({name!r}, ...) key must be a "
+                f"string literal",
+            ))
+            continue
+        decls.append(LazyDecl(
+            registry_var=var, name=name, spec=spec, key=key,
+            line=node.lineno,
+        ))
+    return decls, errors
+
+
+def _literal_str(node) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+@dataclass
+class _Decorator:
+    registry_var: str
+    name: Optional[str]
+    line: int
+
+
+def _register_decorators(
+    module: ModuleInfo, registry_prefix: str
+) -> Iterator[Tuple[_Decorator, ast.AST]]:
+    """``@VAR.register("name")`` decorators whose ``VAR`` traces back to
+    the central registry module."""
+    for node in ast.walk(module.tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        for deco in node.decorator_list:
+            if not (
+                isinstance(deco, ast.Call)
+                and isinstance(deco.func, ast.Attribute)
+                and deco.func.attr == "register"
+            ):
+                continue
+            origin = resolve_dotted(module, deco.func.value)
+            if origin is None or not origin.startswith(registry_prefix):
+                continue
+            var = origin[len(registry_prefix):]
+            if "." in var:
+                continue
+            name = _literal_str(deco.args[0]) if deco.args else None
+            yield _Decorator(
+                registry_var=var, name=name, line=deco.lineno,
+            ), node
+
+
+def _dict_literal_keys(
+    module: ModuleInfo, attr: str
+) -> Optional[Set[str]]:
+    """Constant keys of a top-level ``attr = {...}`` dict literal, or
+    ``None`` when the binding is not a plain dict literal."""
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == attr for t in targets
+        ):
+            continue
+        if isinstance(value, ast.Dict):
+            return {
+                k.value
+                for k in value.keys
+                if isinstance(k, ast.Constant)
+                and isinstance(k.value, str)
+            }
+        return None
+    return None

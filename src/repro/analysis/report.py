@@ -1,0 +1,115 @@
+"""Text / JSON reporters and the committed-baseline file format.
+
+The JSON payload is the machine interface CI diffs against the
+committed baseline::
+
+    {
+      "schema_version": 1,
+      "root": "/abs/path/to/repro",
+      "rules": [{"rule": ..., "severity": ..., "description": ...}],
+      "findings": [{"path", "line", "rule", "severity", "message",
+                    "suppressed", "baselined"}, ...],
+      "counts": {"total": N, "active": N, "suppressed": N,
+                 "baselined": N},
+      "stale_baseline": [...]
+    }
+
+The baseline file is the same finding-dict shape under a ``findings``
+key; :func:`load_baseline` accepts it (or a bare list for hand-written
+test baselines).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .checker import CheckResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "format_text",
+    "load_baseline",
+    "to_json_payload",
+]
+
+SCHEMA_VERSION = 1
+
+
+def to_json_payload(result: CheckResult) -> Dict:
+    findings = result.findings
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "root": result.project.root,
+        "rules": [
+            {
+                "rule": checker.rule,
+                "severity": checker.severity,
+                "description": checker.description,
+            }
+            for checker in result.checkers
+        ],
+        "findings": [f.to_json_dict() for f in findings],
+        "counts": {
+            "total": len(findings),
+            "active": sum(1 for f in findings if f.active),
+            "suppressed": sum(1 for f in findings if f.suppressed),
+            "baselined": sum(1 for f in findings if f.baselined),
+        },
+        "stale_baseline": [dict(e) for e in result.stale_baseline],
+    }
+
+
+def format_text(result: CheckResult, verbose: bool = False) -> str:
+    """Human-oriented report: one ``path:line rule severity message``
+    line per active finding, then a one-line summary."""
+    lines: List[str] = []
+    for finding in result.findings:
+        if not finding.active and not verbose:
+            continue
+        flag = ""
+        if finding.suppressed:
+            flag = " [suppressed]"
+        elif finding.baselined:
+            flag = " [baselined]"
+        lines.append(
+            f"{finding.anchor}: {finding.severity}"
+            f" [{finding.rule}]{flag} {finding.message}"
+        )
+    for entry in result.stale_baseline:
+        lines.append(
+            f"{entry.get('path')}:{entry.get('line')}: stale baseline "
+            f"entry [{entry.get('rule')}] — violation no longer exists; "
+            f"remove it from the baseline file"
+        )
+    active = [f for f in result.findings if f.active]
+    muted = len(result.findings) - len(active)
+    summary = (
+        f"{len(result.checkers)} rule(s), "
+        f"{len(result.project)} module(s) analyzed: "
+        f"{len(active)} active finding(s)"
+    )
+    if muted:
+        summary += f", {muted} suppressed/baselined"
+    if result.stale_baseline:
+        summary += f", {len(result.stale_baseline)} stale baseline entr(y/ies)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def load_baseline(path: Optional[str]) -> Optional[List[Dict]]:
+    """Read a committed baseline file into the entry list
+    :func:`repro.analysis.checker.run_check` consumes."""
+    if path is None:
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, list):
+        return payload
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline {path} has schema_version {version!r}; "
+            f"this analyzer reads {SCHEMA_VERSION}"
+        )
+    return list(payload.get("findings", []))

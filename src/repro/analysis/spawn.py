@@ -1,0 +1,219 @@
+"""Rule ``spawn``: nothing unpicklable crosses the process boundary.
+
+The real serving plane starts workers with the ``spawn`` start method
+(the only one that is safe with threads and consistent across
+platforms), which means *everything* handed to a child — the
+``Process`` target, its args, every object put on an inter-process
+queue — goes through pickle.  Lambdas, functions or classes defined
+inside other functions, and open file handles all fail there, and they
+fail at runtime on the *consumer* side, far from the line that made
+the mistake.
+
+This rule anchors the failure to the producing line.  In every module
+that imports :mod:`multiprocessing`:
+
+* a ``Process(...)`` target must be a module-level function (typically
+  an imported worker entrypoint) — a lambda, a function defined inside
+  the calling function, or a bound method (``target=self._run`` drags
+  the whole instance through pickle) is an error;
+* ``Process`` args/kwargs and ``.put(...)``/``.put_nowait(...)``
+  payloads must not contain lambdas, references to locally-defined
+  functions or classes, or inline ``open(...)`` handles.  *Calling* a
+  local helper to build the payload is fine — it is the result that
+  crosses, not the function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from .checker import Checker
+from .findings import Finding
+from .model import ModuleInfo, ProjectModel, resolve_dotted
+
+__all__ = ["SpawnSafetyChecker"]
+
+
+class SpawnSafetyChecker(Checker):
+    rule = "spawn"
+    severity = "error"
+    description = (
+        "no lambdas, locally-defined callables, or open handles cross "
+        "the multiprocessing boundary; worker entrypoints are "
+        "module-level"
+    )
+
+    def check(self, project: ProjectModel) -> Iterator[Finding]:
+        for module in project:
+            if not _imports_multiprocessing(module):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        local_defs = _locally_defined_names(module.tree)
+        for call in ast.walk(module.tree):
+            if not isinstance(call, ast.Call):
+                continue
+            if _is_process_ctor(module, call):
+                yield from self._check_process(module, call, local_defs)
+            elif _is_queue_put(call):
+                for arg in list(call.args) + [
+                    k.value for k in call.keywords
+                ]:
+                    yield from self._check_payload(
+                        module, arg, local_defs, "queue payload"
+                    )
+
+    # -- Process(...) --------------------------------------------------
+    def _check_process(
+        self, module: ModuleInfo, call: ast.Call, local_defs: Set[str]
+    ) -> Iterator[Finding]:
+        target = None
+        for keyword in call.keywords:
+            if keyword.arg == "target":
+                target = keyword.value
+        if target is not None:
+            yield from self._check_target(module, target, local_defs)
+        for keyword in call.keywords:
+            if keyword.arg in ("args", "kwargs"):
+                yield from self._check_payload(
+                    module, keyword.value, local_defs, "Process args"
+                )
+
+    def _check_target(
+        self, module: ModuleInfo, target: ast.AST, local_defs: Set[str]
+    ) -> Iterator[Finding]:
+        if isinstance(target, ast.Lambda):
+            yield self.finding(
+                module, target.lineno,
+                "Process target is a lambda; spawn pickles the target — "
+                "use a module-level function",
+            )
+        elif isinstance(target, ast.Attribute):
+            yield self.finding(
+                module, target.lineno,
+                "Process target is an attribute access (bound method?); "
+                "spawn pickles the whole bound object — use a "
+                "module-level function",
+            )
+        elif isinstance(target, ast.Name):
+            if target.id in local_defs:
+                yield self.finding(
+                    module, target.lineno,
+                    f"Process target {target.id!r} is defined inside a "
+                    f"function; spawn cannot pickle it — move it to "
+                    f"module level",
+                )
+            elif target.id not in module.top_level:
+                yield self.finding(
+                    module, target.lineno,
+                    f"Process target {target.id!r} is not a module-level "
+                    f"binding of this module; spawn workers must use an "
+                    f"importable entrypoint",
+                )
+
+    # -- payload expressions -------------------------------------------
+    def _check_payload(
+        self,
+        module: ModuleInfo,
+        expr: ast.AST,
+        local_defs: Set[str],
+        what: str,
+    ) -> Iterator[Finding]:
+        for node in _payload_nodes(expr):
+            if isinstance(node, ast.Lambda):
+                yield self.finding(
+                    module, node.lineno,
+                    f"lambda inside a {what}; it cannot cross the spawn "
+                    f"boundary — send data, not code",
+                )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Name
+            ) and node.func.id == "open":
+                yield self.finding(
+                    module, node.lineno,
+                    f"open(...) handle inside a {what}; file objects do "
+                    f"not pickle — send the path and open it in the "
+                    f"child",
+                )
+            elif isinstance(node, ast.Name) and node.id in local_defs:
+                yield self.finding(
+                    module, node.lineno,
+                    f"{node.id!r} is defined inside a function and is "
+                    f"referenced in a {what}; locally-defined callables "
+                    f"do not pickle across spawn",
+                )
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+def _imports_multiprocessing(module: ModuleInfo) -> bool:
+    return any(
+        edge.target == "multiprocessing"
+        or edge.target.startswith("multiprocessing.")
+        for edge in module.imports
+    )
+
+
+def _is_process_ctor(module: ModuleInfo, call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        # ctx.Process(...), mp.Process(...), get_context(...).Process(...)
+        return func.attr == "Process"
+    if isinstance(func, ast.Name):
+        origin = resolve_dotted(module, func)
+        return origin is not None and origin.endswith(".Process") and \
+            origin.startswith("multiprocessing")
+    return False
+
+
+def _is_queue_put(call: ast.Call) -> bool:
+    func = call.func
+    return isinstance(func, ast.Attribute) and func.attr in (
+        "put", "put_nowait"
+    )
+
+
+def _locally_defined_names(tree: ast.Module) -> Set[str]:
+    """Functions/classes defined *inside* functions — unpicklable by
+    qualified-name lookup under spawn."""
+    names: Set[str] = set()
+    stack: List[Tuple[ast.AST, int]] = [(tree, 0)]
+    while stack:
+        node, depth = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            child_depth = depth
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+            ):
+                if depth > 0 and not isinstance(child, ast.Lambda):
+                    names.add(child.name)
+                child_depth = depth + 1
+            elif isinstance(child, ast.ClassDef):
+                if depth > 0:
+                    names.add(child.name)
+            stack.append((child, child_depth))
+    return names
+
+
+def _payload_nodes(expr: ast.AST) -> Iterator[ast.AST]:
+    """Walk a payload expression, skipping callee positions — the value
+    a call *returns* crosses the boundary, not the function called."""
+    stack: List[ast.AST] = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, ast.Call):
+            # Still yield the Call itself (checked for open(...)); do
+            # not descend into node.func.
+            stack.extend(node.args)
+            stack.extend(k.value for k in node.keywords)
+        elif isinstance(node, ast.Lambda):
+            continue  # flagged as a whole; innards irrelevant
+        else:
+            stack.extend(ast.iter_child_nodes(node))
+    return

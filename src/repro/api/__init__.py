@@ -31,8 +31,9 @@ _CONFIG_EXPORTS = {
 }
 _REGISTRY_EXPORTS = {
     "Registry", "RegistryError", "REGISTRIES", "MODELS", "QUANTIZERS",
-    "POLICIES", "SCENARIOS", "SEARCH_SPACES", "DEVICES", "STRATEGIES",
-    "EXPERIMENTS", "SCALES", "SERVE_SCALES",
+    "POLICIES", "ROUTERS", "SCENARIOS", "TRACE_TRANSFORMS",
+    "SEARCH_SPACES", "DEVICES", "STRATEGIES", "EXPERIMENTS", "SCALES",
+    "SERVE_SCALES", "CHECKERS",
 }
 _MANIFEST_EXPORTS = {"manifest", "choices"}
 _PIPELINE_EXPORTS = {

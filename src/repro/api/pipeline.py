@@ -28,11 +28,11 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..obs.tracer import NULL_TRACER
+from ..obs.wallclock import wall_clock_s
 from .config import ObsConfig, PipelineConfig
 from .registry import DEVICES, POLICIES, SEARCH_SPACES, STRATEGIES
 
@@ -168,7 +168,7 @@ class Pipeline:
     def generate(self) -> Dict[str, Any]:
         """SP-NAS the architecture (or record the zoo model) -> JSON."""
         cfg = self.config
-        start = time.time()
+        start = wall_clock_s()
         self._seed()
         if cfg.search is None:
             artifact = {
@@ -221,7 +221,7 @@ class Pipeline:
             "labels": list(result.labels),
             "flops": result.flops,
             "bit_widths": [_bits_to_json(b) for b in result.bit_widths],
-            "seconds": round(time.time() - start, 3),
+            "seconds": round(wall_clock_s() - start, 3),
         }
         self._write_json(ARTIFACTS["generate"], artifact)
         return artifact
@@ -267,7 +267,7 @@ class Pipeline:
         from ..serve.checkpoint import build_sp_net, save_checkpoint
 
         cfg = self.config
-        start = time.time()
+        start = wall_clock_s()
         self._seed()
         spnet_config = self._spnet_config()
         sp_net = build_sp_net(spnet_config)
@@ -304,7 +304,7 @@ class Pipeline:
                 for bits, acc in accuracies.items()
             ],
             "num_parameters": sp_net.num_parameters(),
-            "seconds": round(time.time() - start, 3),
+            "seconds": round(wall_clock_s() - start, 3),
         }
         self._write_json(ARTIFACTS["train"], artifact)
         return artifact
@@ -332,7 +332,7 @@ class Pipeline:
         from ..quant.layers import normalize_bits
 
         cfg = self.config
-        start = time.time()
+        start = wall_clock_s()
         self._seed()
         sp_net, _ = self._load_checkpoint("deploy")
         device = DEVICES.get(cfg.deploy.device)()
@@ -371,7 +371,7 @@ class Pipeline:
             "metric": cfg.deploy.metric,
             "num_layers": len(workloads),
             "mappings": mappings,
-            "seconds": round(time.time() - start, 3),
+            "seconds": round(wall_clock_s() - start, 3),
         }
         self._write_json(ARTIFACTS["deploy"], artifact)
         return artifact
@@ -403,7 +403,7 @@ class Pipeline:
         )
 
         cfg = self.config
-        start = time.time()
+        start = wall_clock_s()
         self._seed()
         sp_net, spnet_config = self._load_checkpoint("serve")
         latency_model = None
@@ -511,7 +511,7 @@ class Pipeline:
             "mode": "fleet" if fleet_mode else "single",
             "latency_source": "deploy" if latency_model else "serve-search",
             "reports": [r.to_json_dict() for r in reports],
-            "seconds": round(time.time() - start, 3),
+            "seconds": round(wall_clock_s() - start, 3),
         }
         self._write_json(ARTIFACTS["serve"], artifact)
         return artifact
@@ -528,12 +528,12 @@ class Pipeline:
                 f"unknown stage(s) {unknown}; available: {list(STAGES)}"
             )
         chosen = [s for s in STAGES if s in chosen]
-        start = time.time()
+        start = wall_clock_s()
         result = PipelineResult(config=self.config, run_dir=self.run_dir)
         os.makedirs(self.run_dir, exist_ok=True)
         self.config.save(self.artifact_path("config.json"))
         for stage in chosen:
-            stage_start = time.time()
+            stage_start = wall_clock_s()
             result.reports[stage] = getattr(self, stage)()
             result.stages_run.append(stage)
             result.artifacts[stage] = self.artifact_path(ARTIFACTS[stage])
@@ -544,9 +544,9 @@ class Pipeline:
                     "stage",
                     round(stage_start - start, 6),
                     stage=stage,
-                    seconds=round(time.time() - stage_start, 3),
+                    seconds=round(wall_clock_s() - stage_start, 3),
                 )
-        result.seconds = round(time.time() - start, 3)
+        result.seconds = round(wall_clock_s() - start, 3)
         self._write_json("pipeline_report.json", result.to_json_dict())
         if self._obs is not None and (self.tracer.enabled or self._metrics):
             from ..obs.artifacts import write_obs_artifacts

@@ -2,8 +2,8 @@
 
 Every pluggable component family in the reproduction — models,
 quantisers, precision policies, traffic scenarios, SP-NAS search spaces,
-accelerator devices, training strategies, experiments, and scale
-presets — is enumerated here.  Built-ins are declared *lazily* as
+accelerator devices, training strategies, experiments, scale presets,
+and static-analysis rules — is enumerated here.  Built-ins are declared *lazily* as
 ``"module:attr"`` strings, so importing this module costs nothing
 beyond the stdlib: the CLI can render ``--help`` choices and
 ``repro pipeline validate`` can check names without importing numpy or
@@ -45,6 +45,7 @@ __all__ = [
     "EXPERIMENTS",
     "SCALES",
     "SERVE_SCALES",
+    "CHECKERS",
 ]
 
 
@@ -292,23 +293,45 @@ STRATEGIES.register_lazy("cdt", "repro.core.cdt:CascadeDistillation")
 STRATEGIES.register_lazy("sp", "repro.core.cdt:VanillaDistillation")
 STRATEGIES.register_lazy("adabits", "repro.core.cdt:JointCrossEntropy")
 
+# One literal call per entry — no loops or f-strings: `repro check`
+# verifies every pointer statically, and grep for an experiment name
+# must land here.
 EXPERIMENTS = Registry("experiment")
-for _name in ("table1", "table2", "table3", "table4",
-              "fig2", "fig4", "fig5", "fig6", "fig7"):
-    EXPERIMENTS.register_lazy(_name, f"repro.experiments.{_name}:run")
-del _name
+EXPERIMENTS.register_lazy("table1", "repro.experiments.table1:run")
+EXPERIMENTS.register_lazy("table2", "repro.experiments.table2:run")
+EXPERIMENTS.register_lazy("table3", "repro.experiments.table3:run")
+EXPERIMENTS.register_lazy("table4", "repro.experiments.table4:run")
+EXPERIMENTS.register_lazy("fig2", "repro.experiments.fig2:run")
+EXPERIMENTS.register_lazy("fig4", "repro.experiments.fig4:run")
+EXPERIMENTS.register_lazy("fig5", "repro.experiments.fig5:run")
+EXPERIMENTS.register_lazy("fig6", "repro.experiments.fig6:run")
+EXPERIMENTS.register_lazy("fig7", "repro.experiments.fig7:run")
 
 SCALES = Registry("scale")
-for _scale in ("smoke", "default", "full"):
-    SCALES.register_lazy(_scale, "repro.experiments.common:SCALES", key=_scale)
-del _scale
+SCALES.register_lazy("smoke", "repro.experiments.common:SCALES", key="smoke")
+SCALES.register_lazy(
+    "default", "repro.experiments.common:SCALES", key="default"
+)
+SCALES.register_lazy("full", "repro.experiments.common:SCALES", key="full")
 
 SERVE_SCALES = Registry("serve scale")
-for _scale in ("smoke", "default"):
-    SERVE_SCALES.register_lazy(
-        _scale, "repro.serve.simulator:SERVE_SCALES", key=_scale
-    )
-del _scale
+SERVE_SCALES.register_lazy(
+    "smoke", "repro.serve.simulator:SERVE_SCALES", key="smoke"
+)
+SERVE_SCALES.register_lazy(
+    "default", "repro.serve.simulator:SERVE_SCALES", key="default"
+)
+
+CHECKERS = Registry("analysis rule")
+CHECKERS.register_lazy(
+    "determinism", "repro.analysis.determinism:DeterminismChecker"
+)
+CHECKERS.register_lazy(
+    "registries", "repro.analysis.registries:RegistryParityChecker"
+)
+CHECKERS.register_lazy("layering", "repro.analysis.layering:LayeringChecker")
+CHECKERS.register_lazy("spawn", "repro.analysis.spawn:SpawnSafetyChecker")
+CHECKERS.register_lazy("spans", "repro.analysis.spans:SpanVocabularyChecker")
 
 REGISTRIES: Dict[str, Registry] = {
     "models": MODELS,
@@ -323,4 +346,5 @@ REGISTRIES: Dict[str, Registry] = {
     "experiments": EXPERIMENTS,
     "scales": SCALES,
     "serve_scales": SERVE_SCALES,
+    "checkers": CHECKERS,
 }

@@ -17,7 +17,6 @@ Fig. 4 (see :mod:`repro.core.spnas.baselines`).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -26,6 +25,7 @@ import numpy as np
 from ... import rng as rng_mod
 from ...data.dataset import Dataset, split_dataset
 from ...data.loader import DataLoader
+from ...obs.wallclock import wall_clock_s
 from ...optim import Adam, CosineDecay, ExponentialDecay, SGD
 from ...quant.factory import SwitchableFactory
 from ...quant.layers import BitSpec
@@ -137,7 +137,7 @@ class SPNASSearcher:
             "weight_loss": [], "arch_loss": [], "expected_flops": [],
             "temperature": [],
         }
-        start = time.time()
+        start = wall_clock_s()
         step = 0
         for epoch in range(cfg.epochs):
             temperature = temp_schedule(epoch)
@@ -193,7 +193,7 @@ class SPNASSearcher:
             bit_widths=self.bit_widths,
             flops=flops,
             history=history,
-            wall_seconds=time.time() - start,
+            wall_seconds=wall_clock_s() - start,
         )
 
     # ------------------------------------------------------------------

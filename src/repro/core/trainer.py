@@ -15,7 +15,6 @@ Hyper-parameter defaults mirror the paper's CIFAR recipe (SGD, momentum
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -23,6 +22,7 @@ import numpy as np
 
 from ..data.dataset import Dataset
 from ..data.loader import DataLoader
+from ..obs.wallclock import wall_clock_s
 from ..optim import SGD, CosineDecay
 from ..quant.layers import BitSpec
 from ..quant.network import SwitchablePrecisionNetwork
@@ -98,7 +98,7 @@ class SwitchableTrainer:
         )
         schedule = CosineDecay(cfg.lr, max(1, cfg.epochs * len(loader)))
         history = TrainHistory()
-        start = time.time()
+        start = wall_clock_s()
         step = 0
         for epoch in range(cfg.epochs):
             self.sp_net.train()
@@ -124,7 +124,7 @@ class SwitchableTrainer:
                     f"[{self.strategy.name}] epoch {epoch}: "
                     f"loss {history.epoch_losses[-1]:.4f}"
                 )
-        history.wall_seconds = time.time() - start
+        history.wall_seconds = wall_clock_s() - start
         return history
 
 

@@ -10,7 +10,6 @@ numbers.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .. import rng as rng_mod
@@ -22,6 +21,7 @@ from ..baselines.spnets import (
 )
 from ..core.trainer import TrainConfig
 from ..data.dataset import Dataset
+from ..obs.wallclock import wall_clock_s
 from .common import ExperimentResult, Scale
 
 __all__ = ["run_cdt_comparison", "METHOD_RUNNERS"]
@@ -50,7 +50,7 @@ def run_cdt_comparison(
     Each row carries ``acc_<method>`` columns, mirroring the paper's
     table layout (bit-width rows x method columns).
     """
-    start = time.time()
+    start = wall_clock_s()
     result = ExperimentResult(
         experiment=experiment,
         title=title,
@@ -78,7 +78,7 @@ def run_cdt_comparison(
                     100.0 * accuracies[method][bits], 2
                 )
             result.add_row(**row)
-    result.seconds = time.time() - start
+    result.seconds = wall_clock_s() - start
     return result
 
 

@@ -15,7 +15,6 @@ agreement, and 4-bit accuracy under each training scheme).
 
 from __future__ import annotations
 
-import time
 
 import numpy as np
 
@@ -25,6 +24,7 @@ from ..core.trainer import TrainConfig
 from ..data.loader import DataLoader
 from ..data.synthetic import cifar100_like
 from ..nn.models import mobilenet_v2
+from ..obs.wallclock import wall_clock_s
 from ..tensor import Tensor, no_grad, softmax
 from .common import ExperimentResult, get_scale
 
@@ -67,7 +67,7 @@ def _distribution_stats(sp_net, dataset, low_bits, high_bits, batch_size=128):
 def run(scale="default", seed: int = 0) -> ExperimentResult:
     """Regenerate Fig. 2's evidence at the requested scale."""
     scale = get_scale(scale)
-    start = time.time()
+    start = wall_clock_s()
     # Even the smoke scale needs >= 3 widths: with two, vanilla and
     # cascade distillation coincide (single-teacher degenerate case).
     bit_set = [4, 8, 32] if scale.name == "smoke" else BIT_SET
@@ -135,7 +135,7 @@ def run(scale="default", seed: int = 0) -> ExperimentResult:
         "KL and agreement quantify the paper's visual claim; "
         "sampled-image distributions stored in paper_reference"
     )
-    result.seconds = time.time() - start
+    result.seconds = wall_clock_s() - start
     return result
 
 

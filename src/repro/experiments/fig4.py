@@ -18,7 +18,6 @@ supernet training tractable.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Sequence
 
 from .. import rng as rng_mod
@@ -33,6 +32,7 @@ from ..core.spnas import (
 )
 from ..core.trainer import TrainConfig
 from ..data.synthetic import cifar100_like
+from ..obs.wallclock import wall_clock_s
 from .common import ExperimentResult, get_scale
 
 __all__ = ["run", "PAPER_FIG4"]
@@ -77,7 +77,7 @@ def _budgets_for(scale, space) -> Dict[str, float]:
 def run(scale="default", seed: int = 0) -> ExperimentResult:
     """Regenerate Fig. 4 at the requested scale."""
     scale = get_scale(scale)
-    start = time.time()
+    start = wall_clock_s()
     result = ExperimentResult(
         experiment="fig4",
         title="SP-NAS vs FP-NAS / LP-NAS under FLOPs constraints",
@@ -126,7 +126,7 @@ def run(scale="default", seed: int = 0) -> ExperimentResult:
         "all derived architectures retrained with CDT (paper protocol); "
         "budgets are fractions of the space's maximum expected FLOPs"
     )
-    result.seconds = time.time() - start
+    result.seconds = wall_clock_s() - start
     return result
 
 

@@ -14,12 +14,12 @@ batch 1, 16-bit operands.
 
 from __future__ import annotations
 
-import time
 from typing import Dict
 
 from ..baselines.dataflows import baseline_mapper
 from ..core.automapper import AutoMapper, AutoMapperConfig
 from ..hardware import eyeriss_like_asic, network_by_name, zc706_like_fpga
+from ..obs.wallclock import wall_clock_s
 from .common import ExperimentResult, get_scale
 
 __all__ = ["run", "PAPER_FIG5"]
@@ -51,7 +51,7 @@ def _metric_value(cost, metric: str) -> float:
 def run(scale="default", seed: int = 0) -> ExperimentResult:
     """Regenerate Fig. 5 at the requested scale."""
     scale = get_scale(scale)
-    start = time.time()
+    start = wall_clock_s()
     result = ExperimentResult(
         experiment="fig5",
         title="AutoMapper vs expert dataflows (normalized hardware cost)",
@@ -105,7 +105,7 @@ def run(scale="default", seed: int = 0) -> ExperimentResult:
         "batch 1, 16-bit; all mappers priced on the shared analytical "
         "cost model (DESIGN.md substitution for HLS/ASIC measurement)"
     )
-    result.seconds = time.time() - start
+    result.seconds = wall_clock_s() - start
     return result
 
 

@@ -20,7 +20,6 @@ EDP with +0.91%..+5.25% accuracy at the bottleneck width).
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List
 
 from .. import rng as rng_mod
@@ -32,6 +31,7 @@ from ..core.trainer import TrainConfig
 from ..data.synthetic import cifar10_like, cifar100_like
 from ..hardware import edge_asic, evaluate_network, extract_workloads
 from ..nn.models import mobilenet_v2
+from ..obs.wallclock import wall_clock_s
 from ..quant.layers import normalize_bits
 from .common import ExperimentResult, get_scale
 
@@ -68,7 +68,7 @@ def _edp_at_bits(model, input_size, device, mapper=None, mapper_flows=None,
 def run(scale="default", seed: int = 0, datasets=None) -> ExperimentResult:
     """Regenerate Fig. 6 at the requested scale."""
     scale = get_scale(scale)
-    start = time.time()
+    start = wall_clock_s()
     result = ExperimentResult(
         experiment="fig6",
         title="InstantNet vs SOTA IoT systems: accuracy vs EDP",
@@ -163,7 +163,7 @@ def run(scale="default", seed: int = 0, datasets=None) -> ExperimentResult:
         "MobileNetV2 + MAGNet (concrete instantiation of the paper's "
         "unnamed baselines, see DESIGN.md)"
     )
-    result.seconds = time.time() - start
+    result.seconds = wall_clock_s() - start
     return result
 
 

@@ -14,7 +14,6 @@ included) for latency.
 
 from __future__ import annotations
 
-import time
 
 from .. import rng as rng_mod
 from ..baselines.dataflows import dnnbuilder_mapper
@@ -25,6 +24,7 @@ from ..core.trainer import TrainConfig
 from ..data.synthetic import imagenet_like
 from ..hardware import evaluate_network, extract_workloads, zc706_like_fpga
 from ..nn.models import mobilenet_v2
+from ..obs.wallclock import wall_clock_s
 from ..quant.layers import normalize_bits
 from .common import ExperimentResult, get_scale
 
@@ -42,7 +42,7 @@ PAPER_FIG7 = {
 def run(scale="default", seed: int = 0) -> ExperimentResult:
     """Regenerate Fig. 7 at the requested scale."""
     scale = get_scale(scale)
-    start = time.time()
+    start = wall_clock_s()
     bit_set = [4, 8] if scale.name == "smoke" else BIT_SET
     result = ExperimentResult(
         experiment="fig7",
@@ -124,7 +124,7 @@ def run(scale="default", seed: int = 0) -> ExperimentResult:
         "baseline = AdaBits-trained MobileNetV2 on a DNNBuilder pipelined "
         "FPGA accelerator; ImageNet stand-in per DESIGN.md"
     )
-    result.seconds = time.time() - start
+    result.seconds = wall_clock_s() - start
     return result
 
 

@@ -382,6 +382,10 @@ class MetricsRecorder:
             "repro_busy_seconds_total",
             "virtual seconds spent serving batches, by replica",
         )
+        self._forwards = registry.counter(
+            "repro_forwards_total",
+            "switched forward passes executed, by replica and bit-width",
+        )
         self._autoscale = registry.counter(
             "repro_autoscale_events_total",
             "autoscaler decisions applied, by action",
@@ -433,6 +437,11 @@ class MetricsRecorder:
             self._busy.inc(event["service_s"], replica=replica)
             self._batch_size.observe(event["size"])
             self._queue_depth.set(event["queue_depth"], replica=replica)
+        elif kind == "forward":
+            self._forwards.inc(
+                replica=event.get("replica", 0),
+                bits=bits_label(event.get("bits")),
+            )
         elif kind == "bit_switch":
             self._switches.inc(replica=event.get("replica", 0))
         elif kind == "policy_decision":

@@ -338,7 +338,9 @@ class InferenceEngine:
                 sp_net.highest, self.max_batch
             )
         self.batch_timeout_s = float(batch_timeout_s)
-        self.clock = clock or time.monotonic
+        # Live-deployment default only: the simulator always injects its
+        # virtual clock, so no deterministic path ever reads this.
+        self.clock = clock or time.monotonic  # repro: allow[determinism] real-time default for live serving
         # Transient service-time multiplier (>= 1.0 during an injected
         # latency spike, 1.0 otherwise).  Owned by the fault-injection
         # layer (repro.workload.faults); the engine only applies it.

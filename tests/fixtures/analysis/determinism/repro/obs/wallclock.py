@@ -1,0 +1,7 @@
+"""The sanctioned seam (mirrors repro.obs.wallclock)."""
+
+import time
+
+
+def wall_clock_s():
+    return time.time()

@@ -1,0 +1,5 @@
+"""Strict virtual plane: even the wallclock seam is banned."""
+
+from ..obs.wallclock import wall_clock_s
+
+STAMP = wall_clock_s()                 # bad: seam banned under serve/

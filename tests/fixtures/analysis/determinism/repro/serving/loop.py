@@ -1,0 +1,5 @@
+"""Real plane: the allowlist makes wall clocks fine here."""
+
+import time
+
+START = time.time()

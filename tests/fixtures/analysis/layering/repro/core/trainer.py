@@ -1,0 +1,5 @@
+"""Core (layer 2) reaching up into the real serving plane (layer 4)."""
+
+from ..serving import pool            # bad: upward import
+
+WORKERS = pool.SIZE

@@ -1,0 +1,3 @@
+"""Serve (layer 3) importing core (layer 2) is fine: downward."""
+
+from ..core import trainer  # noqa: F401

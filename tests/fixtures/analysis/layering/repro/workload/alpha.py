@@ -1,0 +1,3 @@
+from .beta import B                    # bad half: cycle alpha <-> beta
+
+A = B + 1

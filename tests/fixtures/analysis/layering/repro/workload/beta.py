@@ -1,0 +1,9 @@
+from .alpha import A                   # bad half: cycle alpha <-> beta
+
+B = 1
+
+
+def late():
+    # Deferred imports never count toward cycles.
+    from .alpha import A as _a
+    return _a

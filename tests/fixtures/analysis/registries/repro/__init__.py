@@ -1,0 +1,1 @@
+"""Fixture tree for the registries rule."""

@@ -1,0 +1,10 @@
+"""CLI with a hardcoded registry entry name in choices."""
+
+import argparse
+
+
+def build():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--model", choices=("good", "claimed"))
+    parser.add_argument("--format", choices=("text", "json"))
+    return parser

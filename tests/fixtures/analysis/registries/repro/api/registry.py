@@ -1,0 +1,30 @@
+"""Mini manifest with one of each parity violation."""
+
+
+class Registry:
+    def __init__(self, kind):
+        self.kind = kind
+
+    def register_lazy(self, name, spec, key=None):
+        pass
+
+    def register(self, name):
+        def deco(obj):
+            return obj
+        return deco
+
+
+MODELS = Registry("model")
+MODELS.register_lazy("good", "repro.zoo:good_fn")
+MODELS.register_lazy("ghost", "repro.zoo:missing_fn")
+MODELS.register_lazy("dangling", "repro.nowhere:fn")
+MODELS.register_lazy("keyed_ok", "repro.zoo:TABLE", key="present")
+MODELS.register_lazy("keyed_bad", "repro.zoo:TABLE", key="absent")
+MODELS.register_lazy("claimed", "repro.zoo:claimed_fn")
+MODELS.register_lazy("hijacked", "repro.zoo:hijacked_fn")
+for _name in ("a", "b"):
+    MODELS.register_lazy(_name, f"repro.zoo:{_name}")
+
+ORPHANS = Registry("orphan")
+
+REGISTRIES = {"models": MODELS}

@@ -1,0 +1,8 @@
+"""A module claiming a lazy entry that points somewhere else."""
+
+from .api.registry import MODELS
+
+
+@MODELS.register("hijacked")
+def hijacked_fn():
+    return 4

@@ -1,0 +1,19 @@
+"""Defining module for the mini manifest."""
+
+from .api.registry import MODELS
+
+TABLE = {"present": 1}
+
+
+def good_fn():
+    return 1
+
+
+@MODELS.register("claimed")
+def claimed_fn():
+    return 2
+
+
+@MODELS.register("unclaimed")
+def surprise_fn():
+    return 3

@@ -1,0 +1,9 @@
+"""Emits two declared kinds and one typo."""
+
+
+def run(tracer, events):
+    tracer.emit("alpha", 0.0)
+    tracer.emit("beta", 1.0)
+    tracer.emit("zeta", 2.0)                # bad: undeclared kind
+    for event in events:
+        tracer.emit(event["kind"], event["time_s"])   # dynamic: skipped

@@ -1,0 +1,5 @@
+"""Counts alpha events only."""
+
+
+def consume(event):
+    return 1 if event["kind"] == "alpha" else 0

@@ -1,0 +1,7 @@
+"""Three-kind vocabulary; gamma is dead weight."""
+
+EVENT_KINDS = (
+    "alpha",
+    "beta",
+    "gamma",
+)

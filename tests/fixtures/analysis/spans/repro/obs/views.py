@@ -1,0 +1,14 @@
+"""Consumes alpha/beta, plus one kind that does not exist."""
+
+
+def render(events):
+    out = []
+    for event in events:
+        kind = event["kind"]
+        if kind == "alpha":
+            out.append("a")
+        elif event["kind"] in ("beta",):
+            out.append("b")
+        elif kind == "delta":               # bad: undeclared kind
+            out.append("?")
+    return out

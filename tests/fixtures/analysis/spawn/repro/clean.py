@@ -1,0 +1,7 @@
+"""No multiprocessing import: the rule never looks here."""
+
+def fake_process(target=None):
+    return target
+
+
+fake_process(target=lambda: None)

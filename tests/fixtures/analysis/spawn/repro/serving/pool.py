@@ -1,0 +1,26 @@
+"""Every spawn-boundary pickling mistake, next to the safe idioms."""
+
+import multiprocessing as mp
+
+
+def worker_main(spec, inbox):
+    return spec, inbox
+
+
+def start(q):
+    ctx = mp.get_context("spawn")
+
+    def local_worker():
+        return None
+
+    ctx.Process(target=lambda: None)               # bad: lambda target
+    ctx.Process(target=local_worker)               # bad: nested def
+    handle = object()
+    ctx.Process(target=handle.run)                 # bad: bound method
+    ctx.Process(target=worker_main, args=(1, q))   # ok: module-level
+
+    q.put(lambda x: x)                             # bad: lambda payload
+    q.put(open("state.bin"))                       # bad: open handle
+    q.put(local_worker)                            # bad: local callable
+    q.put(local_worker())                          # ok: call result
+    q.put((1, "msg"))                              # ok: plain data
