@@ -95,6 +95,10 @@ diff -r "$LOADTEST_DIR_A" "$LOADTEST_DIR_B" \
 grep -q '"energy_per_request_pj"' "$LOADTEST_DIR_A/loadtest_report.json" \
     || { echo "loadtest report lacks the energy-per-request column"; exit 1; }
 
+echo "==> obs diff gate (identical smoke runs must diff clean)"
+python -m repro obs diff "$LOADTEST_DIR_A" "$LOADTEST_DIR_B" \
+    || { echo "obs diff flagged a regression between identical runs"; exit 1; }
+
 echo "==> obs smoke (tracing must not change the deterministic report)"
 OBS_DIR="$(mktemp -d)"
 trap 'rm -rf "$PIPELINE_RUN_DIR" "$LOADTEST_DIR_A" "$LOADTEST_DIR_B" "$OBS_DIR"' EXIT
@@ -108,6 +112,15 @@ for artifact in obs/trace_events.jsonl obs/metrics.prom obs/metrics.jsonl; do
 done
 python -m repro obs "$OBS_DIR" > /dev/null \
     || { echo "repro obs failed to render the traced run dir"; exit 1; }
+python -m repro obs "$OBS_DIR" --profile > /dev/null \
+    || { echo "repro obs --profile failed on the traced run dir"; exit 1; }
+
+echo "==> SLO gate (an injected unmeetable SLO must fail the check)"
+if python -m repro slo check "$OBS_DIR" --latency-target-s 0.000000001 \
+        --quiet; then
+    echo "repro slo check passed an unmeetable 1 ns latency target"
+    exit 1
+fi
 
 echo "==> real-plane pytest (spawned worker pool + gateway, marker-gated)"
 python -m pytest -q -m real_plane

@@ -45,6 +45,7 @@ __all__ = [
     "EXPERIMENTS",
     "SCALES",
     "SERVE_SCALES",
+    "ALERT_RULES",
     "CHECKERS",
 ]
 
@@ -322,6 +323,11 @@ SERVE_SCALES.register_lazy(
     "default", "repro.serve.simulator:SERVE_SCALES", key="default"
 )
 
+ALERT_RULES = Registry("alert rule")
+ALERT_RULES.register_lazy("burn_rate", "repro.obs.alerts:BurnRateRule")
+ALERT_RULES.register_lazy("threshold", "repro.obs.alerts:ThresholdRule")
+ALERT_RULES.register_lazy("absence", "repro.obs.alerts:AbsenceRule")
+
 CHECKERS = Registry("analysis rule")
 CHECKERS.register_lazy(
     "determinism", "repro.analysis.determinism:DeterminismChecker"
@@ -346,5 +352,6 @@ REGISTRIES: Dict[str, Registry] = {
     "experiments": EXPERIMENTS,
     "scales": SCALES,
     "serve_scales": SERVE_SCALES,
+    "alert_rules": ALERT_RULES,
     "checkers": CHECKERS,
 }

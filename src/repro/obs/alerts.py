@@ -1,0 +1,275 @@
+"""Deterministic alerting rules over SLO window series.
+
+Alerting in a deterministic lab is replayable: the rules run over the
+window series :func:`repro.obs.slo.evaluate_events` produced, so the
+same seeded workload fires the same alerts, byte for byte, every time —
+``alerts.jsonl`` is as diffable as the loadtest report.  Three rule
+families cover the classic SRE triggers:
+
+* :class:`BurnRateRule` — multi-window burn-rate alerting: a *page*
+  when any short window burns the error budget faster than
+  ``fast_burn`` (default 14.4x, the "2% of a 30-day budget in an hour"
+  number scaled to whatever window the run derived), a *ticket* when a
+  long window sustains more than ``slow_burn``;
+* :class:`ThresholdRule` — error budget exhausted over the whole run
+  (the run-wide verdict as an alert, not just a report field);
+* :class:`AbsenceRule` — a window with zero samples inside a cell that
+  otherwise has traffic: telemetry gap or total outage, the alert you
+  want precisely when every other signal is silent.
+
+Rules are plain classes registered lazily in
+``repro.api.registry.ALERT_RULES`` (same pattern as policies and
+routers) so new rule families are one ``register_lazy`` line.  Adjacent
+firing windows for the same (cell, slo, rule) collapse into one firing
+spanning the whole episode — the dedup the satellite tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "AlertRule",
+    "BurnRateRule",
+    "ThresholdRule",
+    "AbsenceRule",
+    "default_rules",
+    "evaluate_alerts",
+    "alerts_to_jsonl",
+    "render_alerts",
+]
+
+
+class AlertRule:
+    """Base class: one rule scores one (cell, slo) evaluation entry.
+
+    ``evaluate`` returns firing dicts; a firing carries the rule and
+    severity, the objective and cell it fired for, the window it covers,
+    and the observed value vs the limit that tripped it.  Subclasses
+    only implement the trigger; dedup and serialization are shared.
+    """
+
+    name = "alert"
+    severity = "ticket"
+
+    def evaluate(self, cell: Dict, entry: Dict) -> List[Dict]:
+        raise NotImplementedError
+
+    def _firing(
+        self,
+        cell: Dict,
+        entry: Dict,
+        window: Dict,
+        value: float,
+        limit: float,
+        message: str,
+        severity: Optional[str] = None,
+    ) -> Dict:
+        return {
+            "rule": self.name,
+            "severity": severity or self.severity,
+            "slo": entry["spec"]["name"],
+            "cell": dict(cell),
+            "window": {
+                "start_s": window["start_s"],
+                "end_s": window["end_s"],
+            },
+            "value": value,
+            "limit": limit,
+            "message": message,
+        }
+
+
+class BurnRateRule(AlertRule):
+    """Multi-window burn-rate alerting over the tumbling window series."""
+
+    name = "burn_rate"
+
+    def __init__(self, fast_burn: float = 14.4, slow_burn: float = 6.0):
+        if fast_burn <= 0 or slow_burn <= 0:
+            raise ValueError("burn-rate limits must be positive")
+        self.fast_burn = float(fast_burn)
+        self.slow_burn = float(slow_burn)
+
+    def evaluate(self, cell: Dict, entry: Dict) -> List[Dict]:
+        target = entry["spec"]["target"]
+        firings: List[Dict] = []
+        for window in entry["windows"]:
+            burn = window["burn_rate"]
+            if burn is not None and burn >= self.fast_burn:
+                firings.append(self._firing(
+                    cell, entry, window, burn, self.fast_burn,
+                    f"{entry['spec']['name']}: fast burn {burn:.2f}x >= "
+                    f"{self.fast_burn:g}x (target {target:g})",
+                    severity="page",
+                ))
+        slow = entry["burn"]["slow"]
+        if slow is not None and slow >= self.slow_burn and entry["windows"]:
+            whole = {
+                "start_s": entry["windows"][0]["start_s"],
+                "end_s": entry["windows"][-1]["end_s"],
+            }
+            firings.append(self._firing(
+                cell, entry, whole, slow, self.slow_burn,
+                f"{entry['spec']['name']}: slow burn {slow:.2f}x >= "
+                f"{self.slow_burn:g}x (target {target:g})",
+                severity="ticket",
+            ))
+        return firings
+
+
+class ThresholdRule(AlertRule):
+    """Error budget exhausted over the run — the verdict as an alert."""
+
+    name = "threshold"
+    severity = "page"
+
+    def evaluate(self, cell: Dict, entry: Dict) -> List[Dict]:
+        consumed = entry["error_budget"]["consumed_fraction"]
+        if consumed is None or consumed < 1.0 or not entry["windows"]:
+            return []
+        whole = {
+            "start_s": entry["windows"][0]["start_s"],
+            "end_s": entry["windows"][-1]["end_s"],
+        }
+        return [self._firing(
+            cell, entry, whole, consumed, 1.0,
+            f"{entry['spec']['name']}: error budget exhausted "
+            f"({consumed:.2f}x of budget consumed, "
+            f"sli={entry['sli']:.5f} < target {entry['spec']['target']:g})",
+        )]
+
+
+class AbsenceRule(AlertRule):
+    """Zero-sample windows in a cell that has traffic elsewhere.
+
+    Fires per empty window so adjacent gaps exercise (and are collapsed
+    by) the dedup pass; a cell with no samples at all stays silent — an
+    unexercised grid cell is not an outage.
+    """
+
+    name = "absence"
+    severity = "ticket"
+
+    def evaluate(self, cell: Dict, entry: Dict) -> List[Dict]:
+        if entry["total"] == 0:
+            return []
+        firings: List[Dict] = []
+        for window in entry["windows"]:
+            if window["total"] == 0:
+                firings.append(self._firing(
+                    cell, entry, window, 0.0, 1.0,
+                    f"{entry['spec']['name']}: no samples in window "
+                    f"[{window['start_s']:g}s, {window['end_s']:g}s)",
+                ))
+        return firings
+
+
+def default_rules(config=None) -> List[AlertRule]:
+    """The standard rule set, parameterized by an ``AlertConfig``."""
+    from ..api.registry import ALERT_RULES
+
+    fast = config.fast_burn if config is not None else 14.4
+    slow = config.slow_burn if config is not None else 6.0
+    return [
+        ALERT_RULES.get("burn_rate")(fast_burn=fast, slow_burn=slow),
+        ALERT_RULES.get("threshold")(),
+        ALERT_RULES.get("absence")(),
+    ]
+
+
+def _dedup_adjacent(firings: List[Dict]) -> List[Dict]:
+    """Collapse same-(cell, slo, rule) firings over touching windows.
+
+    A burn episode spanning four adjacent windows is one alert covering
+    the whole span (highest severity, worst value), not four pages.
+    """
+    merged: List[Dict] = []
+    for firing in firings:
+        prev = merged[-1] if merged else None
+        same_stream = (
+            prev is not None
+            and prev["rule"] == firing["rule"]
+            and prev["slo"] == firing["slo"]
+            and prev["cell"] == firing["cell"]
+            and prev["window"]["end_s"] >= firing["window"]["start_s"]
+        )
+        if same_stream:
+            prev["window"]["end_s"] = max(
+                prev["window"]["end_s"], firing["window"]["end_s"]
+            )
+            if firing["value"] > prev["value"]:
+                prev["value"] = firing["value"]
+                prev["message"] = firing["message"]
+            if firing["severity"] == "page":
+                prev["severity"] = "page"
+        else:
+            merged.append(dict(firing, window=dict(firing["window"])))
+    return merged
+
+
+def evaluate_alerts(
+    slo_results: List[Dict],
+    rules: Optional[Sequence[AlertRule]] = None,
+    config=None,
+    tracer=None,
+    dedup: bool = True,
+) -> List[Dict]:
+    """Run every rule over every (cell, slo) entry; return firings.
+
+    Output order is deterministic: cells in the (sorted) order the SLO
+    evaluator produced them, then rule declaration order, then window
+    start.  With a live ``tracer``, each firing lands as an ``alert``
+    event at its window end so it shows up in the span log, the
+    rendered views, and the ``repro_alerts_total`` metric.
+    """
+    if rules is None:
+        rules = default_rules(config)
+    if config is not None and not config.dedup:
+        dedup = False
+    firings: List[Dict] = []
+    for result in slo_results:
+        cell = result["cell"]
+        for entry in result["slos"]:
+            for rule in rules:
+                hits = rule.evaluate(cell, entry)
+                hits.sort(key=lambda f: f["window"]["start_s"])
+                firings.extend(
+                    _dedup_adjacent(hits) if dedup else hits
+                )
+    if tracer is not None and tracer.enabled:
+        for firing in firings:
+            tracer.emit(
+                "alert",
+                firing["window"]["end_s"],
+                rule=firing["rule"],
+                severity=firing["severity"],
+                slo=firing["slo"],
+                value=firing["value"],
+                **firing["cell"],
+            )
+    return firings
+
+
+def alerts_to_jsonl(firings: List[Dict]) -> str:
+    """One firing per line, sorted keys — deterministic sidecar bytes."""
+    return "".join(
+        json.dumps(firing, sort_keys=True) + "\n" for firing in firings
+    )
+
+
+def render_alerts(firings: List[Dict]) -> str:
+    """Console summary: one line per firing."""
+    if not firings:
+        return "alerts: none fired"
+    lines = [f"alerts: {len(firings)} firing(s)"]
+    for firing in firings:
+        cell = " ".join(
+            f"{k}={v}" for k, v in firing["cell"].items()
+        ) or "run"
+        lines.append(
+            f"  [{firing['severity']:<6}] {firing['rule']:<10} "
+            f"{cell}: {firing['message']}"
+        )
+    return "\n".join(lines)

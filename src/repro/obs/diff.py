@@ -1,0 +1,257 @@
+"""Run-dir regression diffing: did run B get worse than run A?
+
+``repro obs diff RUN_A RUN_B`` is the primitive the future canary plane
+calls: compare two run directories' deterministic reports cell by cell
+with tolerance bands, and exit nonzero iff B *regressed* — latency
+percentiles or energy up, throughput or accuracy down, SLO violations
+up, or whole cells missing.  Improvements and in-band drift are
+reported but never fail the diff; a canary that got faster should
+promote, not page.
+
+Both report shapes the repo produces are understood:
+
+* ``loadtest_report.json`` — grid cells keyed by
+  (scenario, policy, router, replicas);
+* ``serve_real_report.json`` — per-policy replay reports.
+
+Metrics sidecars (``obs/metrics.jsonl``), when both runs have them, are
+compared as an informational drift section — counters are load-bearing
+for debugging a regression but not a pass/fail axis, since a traced run
+is free to add metric families between versions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "load_run_report",
+    "diff_reports",
+    "diff_run_dirs",
+    "render_diff",
+]
+
+DEFAULT_TOLERANCE = 0.05       # relative band before drift is flagged
+ABSOLUTE_EPS = 1e-9            # beneath this, deltas are noise
+
+# (metric key, direction): +1 means "bigger is worse", -1 the reverse.
+CELL_AXES: Tuple[Tuple[str, int], ...] = (
+    ("latency_p50_s", +1),
+    ("latency_p95_s", +1),
+    ("latency_p99_s", +1),
+    ("throughput_rps", -1),
+    ("slo_violations", +1),
+    ("energy_per_request_pj", +1),
+    ("accuracy", -1),
+)
+
+
+def load_run_report(run_dir: str) -> Tuple[str, List[Dict]]:
+    """(plane, cells) from whichever report a run dir holds.
+
+    Cells are normalized to dicts carrying a ``key`` tuple of identity
+    labels plus the metric columns; raises FileNotFoundError when the
+    directory holds no known report.
+    """
+    loadtest = os.path.join(run_dir, "loadtest_report.json")
+    real = os.path.join(run_dir, "serve_real_report.json")
+    if os.path.isfile(loadtest):
+        with open(loadtest) as handle:
+            payload = json.load(handle)
+        cells = [
+            dict(cell, key=(
+                cell["scenario"], cell["policy"],
+                cell["router"], cell["replicas"],
+            ))
+            for cell in payload["grid"]
+        ]
+        return "loadtest", cells
+    if os.path.isfile(real):
+        with open(real) as handle:
+            payload = json.load(handle)
+        cells = [
+            dict(report, key=(report["policy"],))
+            for report in payload["reports"]
+        ]
+        return "serve-real", cells
+    raise FileNotFoundError(
+        f"no loadtest_report.json or serve_real_report.json under "
+        f"{run_dir!r} — run `repro loadtest` or `repro serve-real` first"
+    )
+
+
+def _compare_value(
+    key: str, direction: int, a, b, tolerance: float
+) -> Optional[Dict]:
+    """One metric's verdict: None (in band) or a drift/regression row."""
+    if a is None or b is None:
+        if a is None and b is None:
+            return None
+        return {
+            "metric": key, "a": a, "b": b, "delta": None,
+            "regression": b is None,   # metric disappeared in B
+        }
+    delta = b - a
+    if abs(delta) <= ABSOLUTE_EPS:
+        return None
+    band = tolerance * max(abs(a), ABSOLUTE_EPS)
+    if abs(delta) <= band:
+        return None
+    return {
+        "metric": key,
+        "a": a,
+        "b": b,
+        "delta": delta,
+        "regression": delta * direction > 0,
+    }
+
+
+def diff_reports(
+    cells_a: List[Dict],
+    cells_b: List[Dict],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Dict:
+    """Cell-matched comparison; the payload ``render_diff`` consumes."""
+    by_key_b = {tuple(c["key"]): c for c in cells_b}
+    matched: List[Dict] = []
+    missing: List[Tuple] = []
+    for cell_a in cells_a:
+        key = tuple(cell_a["key"])
+        cell_b = by_key_b.pop(key, None)
+        if cell_b is None:
+            missing.append(key)
+            continue
+        rows = []
+        for metric, direction in CELL_AXES:
+            if metric not in cell_a and metric not in cell_b:
+                continue
+            row = _compare_value(
+                metric, direction,
+                cell_a.get(metric), cell_b.get(metric), tolerance,
+            )
+            if row is not None:
+                rows.append(row)
+        matched.append({"key": list(key), "changes": rows})
+    added = sorted(by_key_b)
+    regressions = sum(
+        1 for cell in matched for row in cell["changes"]
+        if row["regression"]
+    ) + len(missing)
+    return {
+        "tolerance": tolerance,
+        "cells_compared": len(matched),
+        "cells_missing_in_b": [list(k) for k in missing],
+        "cells_added_in_b": [list(k) for k in added],
+        "cells": matched,
+        "regressions": regressions,
+        "verdict": "regression" if regressions else "ok",
+    }
+
+
+def _load_metric_samples(run_dir: str) -> Optional[Dict[str, float]]:
+    """Flatten obs/metrics.jsonl into {family{labels}: value}."""
+    path = os.path.join(run_dir, "obs", "metrics.jsonl")
+    if not os.path.isfile(path):
+        return None
+    samples: Dict[str, float] = {}
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            sample = json.loads(line)
+            labels = ",".join(
+                f"{k}={v}"
+                for k, v in sorted(sample.get("labels", {}).items())
+            )
+            series = f"{sample['name']}{{{labels}}}"
+            if "value" in sample:
+                samples[series] = sample["value"]
+            else:
+                # Histogram rows: compare the sum and count moments.
+                samples[f"{series}:sum"] = sample["sum"]
+                samples[f"{series}:count"] = sample["count"]
+    return samples
+
+
+def _metrics_drift(
+    run_a: str, run_b: str, tolerance: float
+) -> Optional[Dict]:
+    a, b = _load_metric_samples(run_a), _load_metric_samples(run_b)
+    if a is None or b is None:
+        return None
+    changed = []
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key), b.get(key)
+        if va is None or vb is None:
+            changed.append({"series": key, "a": va, "b": vb})
+            continue
+        if abs(vb - va) > tolerance * max(abs(va), ABSOLUTE_EPS):
+            changed.append({"series": key, "a": va, "b": vb})
+    return {"series_compared": len(set(a) | set(b)), "changed": changed}
+
+
+def diff_run_dirs(
+    run_a: str,
+    run_b: str,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Dict:
+    """The full ``repro obs diff`` payload for two run directories."""
+    plane_a, cells_a = load_run_report(run_a)
+    plane_b, cells_b = load_run_report(run_b)
+    if plane_a != plane_b:
+        raise ValueError(
+            f"cannot diff a {plane_a} run against a {plane_b} run"
+        )
+    payload = diff_reports(cells_a, cells_b, tolerance=tolerance)
+    payload["plane"] = plane_a
+    payload["run_a"] = run_a
+    payload["run_b"] = run_b
+    drift = _metrics_drift(run_a, run_b, tolerance)
+    if drift is not None:
+        payload["metrics_drift"] = drift
+    return payload
+
+
+def render_diff(payload: Dict) -> str:
+    """Console rendering: verdict line, then only what changed."""
+    lines = [
+        f"obs diff ({payload.get('plane', 'report')}): "
+        f"{payload['verdict']} — "
+        f"{payload['regressions']} regression(s) across "
+        f"{payload['cells_compared']} matched cell(s) "
+        f"(tolerance {payload['tolerance']:.1%})"
+    ]
+    for key in payload["cells_missing_in_b"]:
+        lines.append(f"  MISSING in B: {'/'.join(str(k) for k in key)}")
+    for key in payload["cells_added_in_b"]:
+        lines.append(f"  added in B:   {'/'.join(str(k) for k in key)}")
+    for cell in payload["cells"]:
+        if not cell["changes"]:
+            continue
+        title = "/".join(str(k) for k in cell["key"])
+        lines.append(f"  {title}")
+        for row in cell["changes"]:
+            tag = "REGRESSION" if row["regression"] else "improved"
+            if row["delta"] is None:
+                lines.append(
+                    f"    {tag:<10} {row['metric']}: "
+                    f"{row['a']!r} -> {row['b']!r}"
+                )
+            else:
+                lines.append(
+                    f"    {tag:<10} {row['metric']}: "
+                    f"{row['a']:g} -> {row['b']:g} "
+                    f"({row['delta']:+g})"
+                )
+    drift = payload.get("metrics_drift")
+    if drift is not None:
+        lines.append(
+            f"  metrics drift (informational): "
+            f"{len(drift['changed'])}/{drift['series_compared']} "
+            f"series changed"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Fleet and worker-pool health scoring: healthy / degraded / unhealthy.
+
+A binary liveness bit hides exactly the states an operator cares about:
+"up, but one worker crashed and the survivors are saturating" is
+*degraded* — still serving, should not be sent more traffic, should
+page someone — and neither a 200-and-fine nor a 503-and-dead captures
+it.  This module turns raw state (worker lifecycle states, queue
+saturation, rejected admissions, SLO budget consumption) into a
+three-level verdict plus machine-readable reasons.
+
+Two entry points, one per plane:
+
+* :func:`score_pool` reads a real worker-pool snapshot
+  (:meth:`repro.serving.pool.WorkerPool.snapshot`) — the gateway's
+  ``/healthz`` serves its verdict, returning 200 for healthy *and*
+  degraded (the process can still take traffic; load balancers should
+  only eject on unhealthy) with the verdict and reasons in the body;
+* :func:`score_fleet` reads simulator fleet aggregates and lands in
+  ``FleetReport.health``, so a loadtest grid's report carries the same
+  vocabulary the live gateway exposes.
+
+Scoring is pure and deterministic: same inputs, same verdict, same
+reason strings — the fleet report stays byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "HEALTHY",
+    "DEGRADED",
+    "UNHEALTHY",
+    "DEFAULT_BUDGET",
+    "HealthReport",
+    "score_pool",
+    "score_fleet",
+]
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+UNHEALTHY = "unhealthy"
+
+# Fraction of requests allowed to miss their SLO before the verdict
+# degrades — the default error budget when no SLOConfig is threaded.
+DEFAULT_BUDGET = 0.05
+
+# Queue depth at this fraction of capacity counts as saturation.
+SATURATION_RATIO = 0.8
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """A verdict plus the reasons that produced it."""
+
+    status: str
+    reasons: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """Can this target still take traffic? (healthy or degraded)"""
+        return self.status != UNHEALTHY
+
+    def to_dict(self) -> Dict:
+        return {"status": self.status, "reasons": list(self.reasons)}
+
+
+def _verdict(reasons: List[Tuple[str, str]]) -> HealthReport:
+    """Worst level wins; reasons keep their declaration order."""
+    status = HEALTHY
+    for level, _ in reasons:
+        if level == UNHEALTHY:
+            status = UNHEALTHY
+            break
+        status = DEGRADED
+    return HealthReport(
+        status=status, reasons=tuple(text for _, text in reasons)
+    )
+
+
+def score_pool(snapshot: Dict) -> HealthReport:
+    """Score a real worker-pool snapshot.
+
+    Unhealthy: the pool is not accepting work (stopped/failed, or no
+    live worker remains).  Degraded: some workers failed or are
+    draining while others serve, admission rejections have happened,
+    or live queues sit above :data:`SATURATION_RATIO` of
+    ``max_pending``.
+    """
+    reasons: List[Tuple[str, str]] = []
+    workers = snapshot.get("workers", [])
+    states = [w["state"] for w in workers]
+    live = [s for s in states if s == "active"]
+    failed = [w for w in workers if w["state"] == "failed"]
+
+    if snapshot.get("state") != "active":
+        reasons.append((
+            UNHEALTHY, f"pool is {snapshot.get('state')}, not accepting work"
+        ))
+    if workers and not live:
+        reasons.append((UNHEALTHY, "no active workers remain"))
+    if failed and live:
+        indexes = ", ".join(str(w["index"]) for w in failed)
+        reasons.append((
+            DEGRADED,
+            f"{len(failed)}/{len(workers)} worker(s) failed "
+            f"(index {indexes})",
+        ))
+    draining = [w for w in workers if w["state"] == "draining"]
+    if draining and live:
+        reasons.append((
+            DEGRADED, f"{len(draining)}/{len(workers)} worker(s) draining"
+        ))
+    rejected = snapshot.get("rejected", 0)
+    if rejected:
+        reasons.append((
+            DEGRADED, f"{rejected} request(s) rejected at admission"
+        ))
+    max_pending = snapshot.get("max_pending") or 0
+    if max_pending and live:
+        limit = SATURATION_RATIO * max_pending
+        hot = [
+            w for w in workers
+            if w["state"] == "active" and w["pending"] >= limit
+        ]
+        if hot:
+            indexes = ", ".join(str(w["index"]) for w in hot)
+            reasons.append((
+                DEGRADED,
+                f"{len(hot)} worker(s) above "
+                f"{SATURATION_RATIO:.0%} queue capacity (index {indexes})",
+            ))
+    return _verdict(reasons)
+
+
+def score_fleet(
+    replica_states: Dict[str, int],
+    completed: int,
+    slo_violations: int,
+    budget: float = DEFAULT_BUDGET,
+    rejected: int = 0,
+) -> HealthReport:
+    """Score simulator fleet aggregates for the fleet report.
+
+    ``replica_states`` maps lifecycle state name -> replica count at
+    end of run.  Unhealthy: every replica failed/stopped.  Degraded:
+    some replicas failed, admissions were rejected, or the fraction of
+    completed requests that missed the SLO exceeds ``budget``.
+    """
+    reasons: List[Tuple[str, str]] = []
+    total = sum(replica_states.values())
+    failed = replica_states.get("failed", 0)
+    live = replica_states.get("active", 0) + replica_states.get(
+        "draining", 0
+    )
+    if total and not live:
+        reasons.append((UNHEALTHY, "no live replicas remain"))
+    elif failed:
+        reasons.append((
+            DEGRADED, f"{failed}/{total} replica(s) in failed state"
+        ))
+    if rejected:
+        reasons.append((
+            DEGRADED, f"{rejected} request(s) rejected at admission"
+        ))
+    if completed:
+        miss = slo_violations / completed
+        if miss > budget:
+            reasons.append((
+                DEGRADED,
+                f"SLO error budget exhausted: {miss:.2%} of requests "
+                f"missed the SLO (budget {budget:.2%})",
+            ))
+    return _verdict(reasons)

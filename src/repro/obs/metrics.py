@@ -72,11 +72,26 @@ def _fmt_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition spec.
+
+    Backslash first (so the other escapes aren't double-escaped), then
+    double-quote and newline — the three characters the format reserves.
+    """
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _fmt_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
     items = list(key) + list(extra)
     if not items:
         return ""
-    body = ",".join(f'{name}="{value}"' for name, value in items)
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in items
+    )
     return "{" + body + "}"
 
 
@@ -398,6 +413,14 @@ class MetricsRecorder:
             "repro_pipeline_stage_seconds_total",
             "wall-clock seconds per pipeline stage",
         )
+        self._slo_verdicts = registry.counter(
+            "repro_slo_verdicts_total",
+            "SLO evaluations, by objective and verdict",
+        )
+        self._alerts = registry.counter(
+            "repro_alerts_total",
+            "alert rule firings, by rule and severity",
+        )
         self._queue_depth = registry.gauge(
             "repro_queue_depth",
             "queued requests per replica after the last dispatch",
@@ -453,3 +476,11 @@ class MetricsRecorder:
             self._faults.inc(fault_kind=event["fault_kind"])
         elif kind == "stage":
             self._stages.inc(event.get("seconds", 0.0), stage=event["stage"])
+        elif kind == "slo":
+            self._slo_verdicts.inc(
+                slo=event["slo"], verdict=event["verdict"]
+            )
+        elif kind == "alert":
+            self._alerts.inc(
+                rule=event["rule"], severity=event["severity"]
+            )

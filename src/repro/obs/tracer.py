@@ -60,6 +60,8 @@ EVENT_KINDS = (
     "autoscale",        # autoscaler changed the active replica count
     "fault",            # injected fault applied (outage/recovery/spike)
     "stage",            # pipeline stage span (wall clock, not sim clock)
+    "slo",              # SLO verdict for one (cell, objective) evaluation
+    "alert",            # alert rule firing (burn rate / threshold / absence)
 )
 
 

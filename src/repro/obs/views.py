@@ -276,9 +276,9 @@ def _slowest_section(completes: List[Dict], top: int = 10) -> List[str]:
 
 
 def _control_plane_section(events: List[Dict]) -> List[str]:
-    """Autoscale decisions and injected faults, in time order."""
+    """Autoscale decisions, injected faults, and alert firings."""
     control = [
-        e for e in events if e["kind"] in ("autoscale", "fault")
+        e for e in events if e["kind"] in ("autoscale", "fault", "alert")
     ]
     if not control:
         return []
@@ -289,6 +289,12 @@ def _control_plane_section(events: List[Dict]) -> List[str]:
                 f"- t={event['time_s']:.4f}s autoscale "
                 f"{event['action']} {event['from_replicas']}->"
                 f"{event['to_replicas']} ({event['reason']})"
+            )
+        elif event["kind"] == "alert":
+            lines.append(
+                f"- t={event['time_s']:.4f}s alert "
+                f"[{event['severity']}] {event['rule']} on "
+                f"{event['slo']} (value {event['value']:.2f})"
             )
         else:
             detail = ", ".join(
@@ -301,6 +307,24 @@ def _control_plane_section(events: List[Dict]) -> List[str]:
                 f"- t={event['time_s']:.4f}s fault "
                 f"{event['fault_kind']} ({detail})"
             )
+    lines.append("")
+    return lines
+
+
+def _slo_section(events: List[Dict]) -> List[str]:
+    """SLO verdicts recorded for this cell, one line per objective."""
+    verdicts = [e for e in events if e["kind"] == "slo"]
+    if not verdicts:
+        return []
+    lines = ["### SLO verdicts", ""]
+    for event in sorted(verdicts, key=lambda e: (e["slo"], e["time_s"])):
+        sli = (
+            "n/a" if event.get("sli") is None else f"{event['sli']:.5f}"
+        )
+        lines.append(
+            f"- {event['verdict']}: {event['slo']} "
+            f"(sli {sli}, target {event['target']:g})"
+        )
     lines.append("")
     return lines
 
@@ -370,6 +394,7 @@ def render_events(
                                      buckets=buckets))
         lines.extend(_slowest_section(completes, top=top))
         lines.extend(_control_plane_section(cell_events))
+        lines.extend(_slo_section(cell_events))
     return "\n".join(lines)
 
 

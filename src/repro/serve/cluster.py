@@ -686,6 +686,9 @@ class FleetReport:
     per_replica: List[Dict] = field(default_factory=list)
     scale_events: List[Dict] = field(default_factory=list)
     fault_events: List[Dict] = field(default_factory=list)
+    # healthy/degraded/unhealthy verdict + reasons (obs.health) — pure
+    # function of the stats above, so the report stays deterministic.
+    health: Dict = field(default_factory=dict)
 
     def to_json_dict(self) -> Dict:
         return asdict(self)
@@ -741,6 +744,18 @@ def build_fleet_report(
             },
         })
 
+    from ..obs.health import score_fleet
+
+    states: Dict[str, int] = {}
+    for state in fleet.replica_states():
+        states[state] = states.get(state, 0) + 1
+    slo_violations = (
+        int((latencies > slo_s).sum()) if latencies.size else 0
+    )
+    health = score_fleet(
+        states, completed=completed, slo_violations=slo_violations,
+    )
+
     return FleetReport(
         scenario=scenario,
         policy=policy,
@@ -758,7 +773,7 @@ def build_fleet_report(
         latency_mean_s=summary.mean_s,
         latency_max_s=summary.max_s,
         slo_s=slo_s,
-        slo_violations=int((latencies > slo_s).sum()) if latencies.size else 0,
+        slo_violations=slo_violations,
         occupancy=occupancy,
         batches=batches,
         mean_batch_size=(completed / batches) if batches else 0.0,
@@ -771,6 +786,7 @@ def build_fleet_report(
         per_replica=per_replica,
         scale_events=[e.to_json_dict() for e in fleet.scale_events],
         fault_events=list(fleet.fault_log),
+        health=health.to_dict(),
     )
 
 

@@ -496,6 +496,7 @@ class InferenceEngine:
                 finish_s=finish,
                 service_s=service_s,
                 queue_depth=len(self._queue),
+                energy_pj=record.energy_pj,
             )
             for result in results:
                 self.tracer.emit(

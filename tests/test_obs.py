@@ -167,6 +167,28 @@ class TestMetrics:
         assert "repro_lat_sum 0.5" in text
         assert "repro_lat_count 1" in text
 
+    def test_label_values_are_escaped_and_round_trip(self):
+        reg = MetricsRegistry()
+        hostile = 'quote:" backslash:\\ newline:\nend'
+        reg.counter("c_total").inc(2, note=hostile)
+        text = reg.to_prometheus()
+        # Raw specials never leak into the exposition line.
+        [line] = [l for l in text.splitlines() if l.startswith("c_total{")]
+        assert '\\"' in line and "\\\\" in line and "\\n" in line
+        assert "\n" not in line
+        # Unescaping the label value recovers the original byte-for-byte
+        # (the Prometheus text-format contract: \\ then \" then \n).
+        value = line.split('note="', 1)[1].rsplit('"}', 1)[0]
+        out, i = [], 0
+        while i < len(value):
+            if value[i] == "\\":
+                out.append({"n": "\n", '"': '"', "\\": "\\"}[value[i + 1]])
+                i += 2
+            else:
+                out.append(value[i])
+                i += 1
+        assert "".join(out) == hostile
+
     def test_exporters_are_deterministic(self):
         def build():
             reg = MetricsRegistry()

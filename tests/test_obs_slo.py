@@ -1,0 +1,536 @@
+"""Operational health plane: SLOs, alerts, health, profiler, diffing."""
+
+import json
+
+import pytest
+
+from repro.api.config import AlertConfig, SLOConfig
+from repro.obs.alerts import (
+    AbsenceRule,
+    BurnRateRule,
+    ThresholdRule,
+    alerts_to_jsonl,
+    default_rules,
+    evaluate_alerts,
+    render_alerts,
+)
+from repro.obs.diff import (
+    diff_reports,
+    diff_run_dirs,
+    load_run_report,
+    render_diff,
+)
+from repro.obs.health import (
+    DEGRADED,
+    HEALTHY,
+    UNHEALTHY,
+    score_fleet,
+    score_pool,
+)
+from repro.obs.profile import profile_events, render_profile
+from repro.obs.slo import (
+    SLOSpec,
+    build_slo_report,
+    evaluate_events,
+    percentile,
+    render_slo_report,
+    slo_report_to_json,
+    specs_from_config,
+)
+from repro.obs.tracer import Tracer
+
+
+# ----------------------------------------------------------------------
+# Pure-python percentile
+# ----------------------------------------------------------------------
+class TestPercentile:
+    def test_single_sample_is_every_percentile_of_itself(self):
+        for q in (0.0, 50.0, 95.0, 100.0):
+            assert percentile([0.7], q) == 0.7
+
+    def test_linear_interpolation_matches_numpy_default(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.5
+        assert percentile([0.0, 10.0], 95.0) == pytest.approx(9.5)
+        assert percentile([3.0, 1.0, 2.0], 100.0) == 3.0
+
+    def test_empty_and_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50.0)
+        with pytest.raises(ValueError, match="0, 100"):
+            percentile([1.0], 101.0)
+
+
+# ----------------------------------------------------------------------
+# Spec validation
+# ----------------------------------------------------------------------
+class TestSLOSpec:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError, match="signal"):
+            SLOSpec(name="x", signal="jitter", target=0.95, threshold=1.0)
+        with pytest.raises(ValueError, match="ratio"):
+            SLOSpec(name="x", signal="latency", target=95.0, threshold=1.0)
+        with pytest.raises(ValueError, match="positive threshold"):
+            SLOSpec(name="x", signal="latency", target=0.95)
+        with pytest.raises(ValueError, match="window_s"):
+            SLOSpec(name="x", signal="availability", target=0.99,
+                    window_s=-1.0)
+        with pytest.raises(ValueError, match="long_window_factor"):
+            SLOSpec(name="x", signal="availability", target=0.99,
+                    long_window_factor=0)
+
+    def test_availability_needs_no_threshold(self):
+        spec = SLOSpec(name="avail", signal="availability", target=0.999)
+        assert spec.threshold == 0.0
+
+    def test_specs_from_config_resolution(self):
+        config = SLOConfig()
+        # No explicit latency target and no workload default: latency
+        # objective is skipped, availability always present.
+        names = [s.name for s in specs_from_config(config)]
+        assert names == ["availability"]
+        specs = specs_from_config(config, default_latency_target_s=0.025)
+        assert [s.name for s in specs] == ["latency_p95", "availability"]
+        assert specs[0].threshold == 0.025
+        assert specs[0].target == pytest.approx(0.95)
+        energetic = SLOConfig(energy_target_pj=2e6)
+        names = [s.name for s in specs_from_config(energetic)]
+        assert "energy_per_request" in names
+
+
+# ----------------------------------------------------------------------
+# Streaming-window evaluation edges
+# ----------------------------------------------------------------------
+def _complete(t, latency_s, request_id):
+    return {
+        "kind": "complete", "time_s": t, "request_id": request_id,
+        "latency_s": latency_s, "arrival_s": t - latency_s,
+        "start_s": t - latency_s, "finish_s": t, "replica": 0,
+        "bits": 8,
+    }
+
+
+def _enqueue(t, request_id):
+    return {
+        "kind": "enqueue", "time_s": t, "request_id": request_id,
+        "replica": 0, "queue_depth": 1,
+    }
+
+
+class TestEvaluateEvents:
+    def test_empty_event_stream_yields_no_cells(self):
+        spec = SLOSpec(name="avail", signal="availability", target=0.99)
+        assert evaluate_events([], [spec]) == []
+
+    def test_empty_windows_are_kept_with_none_sli(self):
+        # Traffic only at the edges of the span: the two middle windows
+        # must still appear, with total=0 and sli/burn None.
+        events = [
+            _enqueue(0.0, 0), _complete(0.0, 0.01, 0),
+            _enqueue(1.0, 1), _complete(1.0, 0.01, 1),
+        ]
+        spec = SLOSpec(name="lat", signal="latency", target=0.95,
+                       threshold=0.02, window_s=0.25)
+        [result] = evaluate_events(events, [spec])
+        [entry] = result["slos"]
+        windows = entry["windows"]
+        assert len(windows) == 4
+        assert [w["total"] for w in windows] == [1, 0, 0, 1]
+        assert windows[1]["sli"] is None
+        assert windows[1]["burn_rate"] is None
+        # Run-wide SLI ignores the gaps: both requests were good.
+        assert entry["sli"] == 1.0
+        assert entry["verdict"] == "pass"
+
+    def test_window_longer_than_run_collapses_to_whole_span(self):
+        events = [
+            _enqueue(0.0, 0), _complete(0.1, 0.5, 0),   # bad (0.5 > 0.02)
+            _enqueue(0.5, 1), _complete(1.0, 0.01, 1),  # good
+        ]
+        spec = SLOSpec(name="lat", signal="latency", target=0.95,
+                       threshold=0.02, window_s=600.0)
+        [result] = evaluate_events(events, [spec])
+        [entry] = result["slos"]
+        assert len(entry["windows"]) == 1
+        assert entry["windows"][0]["total"] == 2
+        # One window: fast burn == slow burn == run-wide burn.
+        run_burn = (1.0 - 0.5) / (1.0 - 0.95)
+        assert entry["burn"]["fast"] == pytest.approx(run_burn)
+        assert entry["burn"]["slow"] == pytest.approx(run_burn)
+        assert entry["verdict"] == "violated"
+
+    def test_availability_counts_unfinished_admissions_as_bad(self):
+        events = [
+            _enqueue(0.0, 0), _complete(0.1, 0.01, 0),
+            _enqueue(0.2, 1),   # admitted, never completes
+        ]
+        spec = SLOSpec(name="avail", signal="availability", target=0.5,
+                       window_s=600.0)
+        [result] = evaluate_events(events, [spec])
+        [entry] = result["slos"]
+        assert entry["good"] == 1 and entry["total"] == 2
+        assert entry["sli"] == 0.5
+
+    def test_verdict_events_emitted_only_when_traced(self):
+        events = [_enqueue(0.0, 0), _complete(0.1, 0.01, 0)]
+        spec = SLOSpec(name="avail", signal="availability", target=0.999)
+        tracer = Tracer()
+        evaluate_events(events, [spec], tracer=tracer)
+        kinds = [e["kind"] for e in tracer.events]
+        assert kinds == ["slo"]
+        assert tracer.events[0]["slo"] == "avail"
+        assert tracer.events[0]["verdict"] == "pass"
+
+    def test_report_bytes_are_deterministic(self):
+        events = [
+            _enqueue(i * 0.1, i) for i in range(5)
+        ] + [
+            _complete(i * 0.1 + 0.05, 0.01 * (i + 1), i) for i in range(5)
+        ]
+        config = SLOConfig(latency_target_s=0.025)
+
+        def build():
+            return slo_report_to_json(build_slo_report(events, config))
+
+        first, second = build(), build()
+        assert first == second
+        payload = json.loads(first)
+        assert payload["verdict"] in ("pass", "violated")
+        assert "SLO report" in render_slo_report(payload)
+
+
+# ----------------------------------------------------------------------
+# Alert rules + dedup
+# ----------------------------------------------------------------------
+def _window(start_s, end_s, total=10, burn_rate=0.0):
+    return {
+        "start_s": start_s, "end_s": end_s, "total": total,
+        "good": total, "sli": 1.0 if total else None,
+        "burn_rate": burn_rate if total else None,
+    }
+
+
+def _entry(windows, slow=0.0, consumed=0.0, sli=1.0):
+    return {
+        "spec": {"name": "latency_p95", "target": 0.95},
+        "verdict": "pass",
+        "sli": sli,
+        "good": sum(w["total"] for w in windows),
+        "total": sum(w["total"] for w in windows),
+        "error_budget": {"consumed_fraction": consumed},
+        "burn": {"fast": None, "slow": slow},
+        "windows": windows,
+    }
+
+
+def _results(entry, **cell):
+    return [{"cell": dict(cell), "slos": [entry]}]
+
+
+class TestAlertRules:
+    def test_fast_burn_pages_slow_burn_tickets(self):
+        entry = _entry(
+            [_window(0.0, 1.0, burn_rate=20.0), _window(1.0, 2.0)],
+            slow=8.0,
+        )
+        firings = BurnRateRule().evaluate({}, entry)
+        assert [f["severity"] for f in firings] == ["page", "ticket"]
+        assert firings[0]["value"] == 20.0
+        assert firings[1]["window"] == {"start_s": 0.0, "end_s": 2.0}
+
+    def test_threshold_fires_only_on_exhausted_budget(self):
+        quiet = _entry([_window(0.0, 1.0)], consumed=0.5)
+        assert ThresholdRule().evaluate({}, quiet) == []
+        loud = _entry([_window(0.0, 1.0)], consumed=2.0, sli=0.9)
+        [firing] = ThresholdRule().evaluate({}, loud)
+        assert firing["severity"] == "page"
+        assert "budget exhausted" in firing["message"]
+
+    def test_absence_is_silent_for_cells_with_no_traffic_at_all(self):
+        empty = _entry([_window(0.0, 1.0, total=0)])
+        assert AbsenceRule().evaluate({}, empty) == []
+        gappy = _entry([
+            _window(0.0, 1.0, total=5), _window(1.0, 2.0, total=0),
+        ])
+        [firing] = AbsenceRule().evaluate({}, gappy)
+        assert firing["rule"] == "absence"
+        assert firing["window"]["start_s"] == 1.0
+
+    def test_adjacent_window_firings_collapse_to_one_episode(self):
+        entry = _entry([
+            _window(0.0, 1.0, burn_rate=20.0),
+            _window(1.0, 2.0, burn_rate=30.0),
+            _window(2.0, 3.0, burn_rate=1.0),
+            _window(3.0, 4.0, burn_rate=25.0),
+        ])
+        firings = evaluate_alerts(
+            _results(entry, scenario="bursty"), rules=[BurnRateRule()]
+        )
+        # Windows 0-2 merge (touching); window 3-4 stands alone.
+        assert len(firings) == 2
+        assert firings[0]["window"] == {"start_s": 0.0, "end_s": 2.0}
+        assert firings[0]["value"] == 30.0   # worst value of the episode
+        assert firings[1]["window"] == {"start_s": 3.0, "end_s": 4.0}
+        assert all(f["cell"] == {"scenario": "bursty"} for f in firings)
+
+    def test_alert_config_can_disable_dedup(self):
+        entry = _entry([
+            _window(0.0, 1.0, burn_rate=20.0),
+            _window(1.0, 2.0, burn_rate=30.0),
+        ])
+        merged = evaluate_alerts(_results(entry), rules=[BurnRateRule()])
+        raw = evaluate_alerts(
+            _results(entry), rules=[BurnRateRule()],
+            config=AlertConfig(dedup=False),
+        )
+        assert len(merged) == 1 and len(raw) == 2
+
+    def test_default_rules_resolve_from_registry(self):
+        rules = default_rules(AlertConfig(fast_burn=10.0, slow_burn=5.0))
+        assert [type(r) for r in rules] == [
+            BurnRateRule, ThresholdRule, AbsenceRule,
+        ]
+        assert rules[0].fast_burn == 10.0
+        assert rules[0].slow_burn == 5.0
+
+    def test_firings_emit_alert_events_and_serialize(self):
+        entry = _entry([_window(0.0, 1.0, burn_rate=20.0)])
+        tracer = Tracer()
+        firings = evaluate_alerts(
+            _results(entry, policy="slo"), rules=[BurnRateRule()],
+            tracer=tracer,
+        )
+        assert [e["kind"] for e in tracer.events] == ["alert"]
+        assert tracer.events[0]["rule"] == "burn_rate"
+        assert tracer.events[0]["policy"] == "slo"
+        lines = alerts_to_jsonl(firings).splitlines()
+        assert [json.loads(l)["rule"] for l in lines] == ["burn_rate"]
+        assert "burn_rate" in render_alerts(firings)
+        assert render_alerts([]) == "alerts: none fired"
+
+
+# ----------------------------------------------------------------------
+# Health scoring
+# ----------------------------------------------------------------------
+def _snapshot(state="active", workers=(), max_pending=64, rejected=0):
+    return {
+        "state": state,
+        "workers": [
+            {"index": i, "state": s, "pending": p}
+            for i, (s, p) in enumerate(workers)
+        ],
+        "max_pending": max_pending,
+        "rejected": rejected,
+    }
+
+
+class TestScorePool:
+    def test_all_active_is_healthy(self):
+        report = score_pool(_snapshot(workers=[("active", 0), ("active", 1)]))
+        assert report.status == HEALTHY
+        assert report.ok and report.reasons == ()
+
+    def test_failed_among_live_is_degraded(self):
+        report = score_pool(_snapshot(workers=[("active", 0), ("failed", 0)]))
+        assert report.status == DEGRADED
+        assert report.ok
+        assert any("failed" in r for r in report.reasons)
+
+    def test_no_active_workers_is_unhealthy(self):
+        report = score_pool(_snapshot(workers=[("failed", 0), ("failed", 0)]))
+        assert report.status == UNHEALTHY
+        assert not report.ok
+
+    def test_draining_pool_is_unhealthy(self):
+        report = score_pool(
+            _snapshot(state="draining", workers=[("active", 0)])
+        )
+        assert report.status == UNHEALTHY
+
+    def test_saturation_and_rejections_degrade(self):
+        hot = score_pool(
+            _snapshot(workers=[("active", 60)], max_pending=64)
+        )
+        assert hot.status == DEGRADED
+        assert any("queue capacity" in r for r in hot.reasons)
+        bounced = score_pool(
+            _snapshot(workers=[("active", 0)], rejected=3)
+        )
+        assert bounced.status == DEGRADED
+        assert any("rejected" in r for r in bounced.reasons)
+
+
+class TestScoreFleet:
+    def test_healthy_fleet(self):
+        report = score_fleet({"active": 2}, completed=100, slo_violations=2)
+        assert report.status == HEALTHY
+        assert report.to_dict() == {"status": "healthy", "reasons": []}
+
+    def test_failed_replica_among_live_degrades(self):
+        report = score_fleet(
+            {"active": 1, "failed": 1}, completed=100, slo_violations=0
+        )
+        assert report.status == DEGRADED
+
+    def test_no_live_replicas_is_unhealthy(self):
+        report = score_fleet({"failed": 2}, completed=10, slo_violations=0)
+        assert report.status == UNHEALTHY
+
+    def test_budget_exhaustion_degrades(self):
+        report = score_fleet(
+            {"active": 2}, completed=100, slo_violations=20, budget=0.05
+        )
+        assert report.status == DEGRADED
+        assert any("error budget" in r for r in report.reasons)
+
+
+# ----------------------------------------------------------------------
+# Profiler
+# ----------------------------------------------------------------------
+def _profiled_tracer():
+    tracer = Tracer()
+    cell = tracer.bind(scenario="steady", policy="queue",
+                       router="round_robin", replicas=1)
+    for j, bits in enumerate([8, (4, 8)]):
+        start, finish = 0.1 + j * 0.1, 0.15 + j * 0.1
+        cell.emit("batch", start, replica=0, bits=bits, size=2,
+                  start_s=start, finish_s=finish, service_s=0.05,
+                  queue_depth=0, energy_pj=1000.0)
+        for k in range(2):
+            rid = j * 2 + k
+            cell.emit("complete", finish, request_id=rid, replica=0,
+                      bits=bits, arrival_s=rid * 0.01, start_s=start,
+                      finish_s=finish, latency_s=finish - rid * 0.01)
+    tracer.emit("stage", 0.0, stage="serve", seconds=1.5)
+    return tracer
+
+
+class TestProfile:
+    def test_folds_spans_into_attribution_tables(self):
+        payload = profile_events(_profiled_tracer().events)
+        [cell] = payload["cells"]
+        assert cell["cell"]["scenario"] == "steady"
+        per_bit = {row["bits"]: row for row in cell["per_bit"]}
+        assert set(per_bit) == {"8", "W4A8"}
+        assert sum(r["share"] for r in per_bit.values()) == pytest.approx(1.0)
+        assert per_bit["8"]["requests"] == 2
+        assert per_bit["8"]["energy_pj"] == pytest.approx(1000.0)
+        waits = {r["bits"]: r for r in cell["queue_wait_by_bits"]}
+        assert waits["8"]["wait_s"] > 0
+        assert 0.0 <= waits["8"]["wait_share"] <= 1.0
+        assert payload["stages"] == [
+            {"stage": "serve", "start_s": 0.0, "seconds": 1.5},
+        ]
+
+    def test_render_emits_markdown_tables(self):
+        out = render_profile(profile_events(_profiled_tracer().events))
+        assert "# Span profile" in out
+        assert "### Self-time by bit-width" in out
+        assert "### Queue wait by bit-width" in out
+        assert "## Pipeline stages" in out
+
+    def test_profile_is_deterministic(self):
+        events = _profiled_tracer().events
+        assert profile_events(events) == profile_events(events)
+
+
+# ----------------------------------------------------------------------
+# Run-dir regression diffing
+# ----------------------------------------------------------------------
+def _grid_cell(**overrides):
+    cell = {
+        "scenario": "steady", "policy": "queue", "router": "round_robin",
+        "replicas": 2, "latency_p50_s": 0.010, "latency_p95_s": 0.020,
+        "latency_p99_s": 0.030, "throughput_rps": 100.0,
+        "slo_violations": 0, "energy_per_request_pj": 500.0,
+        "accuracy": 0.9,
+    }
+    cell.update(overrides)
+    cell["key"] = (
+        cell["scenario"], cell["policy"], cell["router"], cell["replicas"],
+    )
+    return cell
+
+
+def _write_loadtest_report(run_dir, cells):
+    run_dir.mkdir(parents=True, exist_ok=True)
+    grid = [{k: v for k, v in c.items() if k != "key"} for c in cells]
+    (run_dir / "loadtest_report.json").write_text(
+        json.dumps({"grid": grid})
+    )
+
+
+class TestDiff:
+    def test_identical_cells_are_ok(self):
+        payload = diff_reports([_grid_cell()], [_grid_cell()])
+        assert payload["verdict"] == "ok"
+        assert payload["regressions"] == 0
+        assert payload["cells_compared"] == 1
+
+    def test_out_of_band_latency_is_a_regression(self):
+        payload = diff_reports(
+            [_grid_cell()], [_grid_cell(latency_p95_s=0.040)]
+        )
+        assert payload["verdict"] == "regression"
+        [row] = payload["cells"][0]["changes"]
+        assert row["metric"] == "latency_p95_s" and row["regression"]
+
+    def test_improvement_is_reported_but_never_fails(self):
+        payload = diff_reports(
+            [_grid_cell()], [_grid_cell(throughput_rps=200.0)]
+        )
+        assert payload["verdict"] == "ok"
+        [row] = payload["cells"][0]["changes"]
+        assert row["metric"] == "throughput_rps" and not row["regression"]
+        assert "improved" in render_diff(payload)
+
+    def test_in_band_drift_stays_silent(self):
+        payload = diff_reports(
+            [_grid_cell()], [_grid_cell(latency_p95_s=0.0204)],
+            tolerance=0.05,
+        )
+        assert payload["cells"][0]["changes"] == []
+
+    def test_missing_cell_in_b_is_a_regression(self):
+        payload = diff_reports([_grid_cell()], [])
+        assert payload["verdict"] == "regression"
+        assert payload["cells_missing_in_b"] == [
+            ["steady", "queue", "round_robin", 2],
+        ]
+        assert "MISSING in B" in render_diff(payload)
+
+    def test_run_dir_round_trip_and_plane_mismatch(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        _write_loadtest_report(a, [_grid_cell()])
+        _write_loadtest_report(b, [_grid_cell(latency_p95_s=0.1)])
+        payload = diff_run_dirs(str(a), str(b))
+        assert payload["plane"] == "loadtest"
+        assert payload["verdict"] == "regression"
+
+        real = tmp_path / "real"
+        real.mkdir()
+        (real / "serve_real_report.json").write_text(
+            json.dumps({"reports": [{"policy": "queue"}]})
+        )
+        assert load_run_report(str(real))[0] == "serve-real"
+        with pytest.raises(ValueError, match="cannot diff"):
+            diff_run_dirs(str(a), str(real))
+
+    def test_missing_report_raises_with_guidance(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="repro loadtest"):
+            load_run_report(str(tmp_path))
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes
+# ----------------------------------------------------------------------
+class TestSLOCheckCLI:
+    def test_missing_sidecar_exits_2(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert main(["slo", "check", str(tmp_path)]) == 2
+        assert "repro loadtest --obs" in capsys.readouterr().err
+
+    def test_obs_diff_usage_error_exits_2(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        assert main(["obs", "diff", str(tmp_path)]) == 2

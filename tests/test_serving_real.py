@@ -501,3 +501,40 @@ class TestGatewayEndpoints:
         assert out["drain"][0] == 202
         assert out["post_drain_infer"][0] == 503
         assert out["post_drain_health"][0] == 503
+
+    def test_healthz_degrades_on_worker_crash(self, checkpoint):
+        # A crashed worker among survivors is *degraded*: the gateway
+        # keeps answering 200 (the pool can still take traffic) but the
+        # body carries the verdict and the reason, which is what load
+        # balancers vs pagers respectively key on.
+        pool = make_pool(checkpoint, workers=2, service_s=0.3)
+        pool.start()
+        try:
+            futures = {}
+            for i in range(6):
+                request_id, future = pool.submit(make_image(i))
+                futures[request_id] = future
+            victim = next(w for w in pool._workers if w.pending)
+            victim.process.kill()
+            doomed = [futures[rid] for rid in victim.pending]
+            with pytest.raises(WorkerCrashed):
+                doomed[0].result(timeout=30)
+
+            async def probe():
+                gateway = Gateway(pool)
+                await gateway.start()
+                try:
+                    return await http_request_json(
+                        "127.0.0.1", gateway.port, "GET", "/healthz"
+                    )
+                finally:
+                    await gateway.close()
+
+            status, body = asyncio.run(probe())
+        finally:
+            pool.stop()
+        assert status == 200
+        assert body["healthy"] is True
+        assert body["health"] == "degraded"
+        assert any("failed" in reason for reason in body["reasons"])
+        assert "failed" in body["workers"]
